@@ -1,0 +1,82 @@
+// Command cloudsim runs the simulated vendor cloud for one or more corpus
+// devices: an HTTP service and an MQTT broker with the seeded access-control
+// policies, printing every access decision.
+//
+// Usage:
+//
+//	cloudsim [-device N] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"firmres/internal/cloud"
+	"firmres/internal/corpus"
+)
+
+func main() {
+	device := flag.Int("device", 17, "corpus device ID to host (1-20)")
+	all := flag.Bool("all", false, "host every binary device's cloud in one process")
+	flag.Parse()
+	if err := run(*device, *all); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(device int, all bool) error {
+	var specs []*cloud.Spec
+	if all {
+		for _, d := range corpus.Devices() {
+			if !d.ScriptOnly {
+				specs = append(specs, corpus.CloudSpec(d))
+			}
+		}
+	} else {
+		d := corpus.Device(device)
+		if d.ScriptOnly {
+			return fmt.Errorf("device %d is script-only and hosts no simulated cloud", device)
+		}
+		specs = append(specs, corpus.CloudSpec(d))
+	}
+	c := cloud.New(specs...)
+	httpAddr, mqttAddr, err := c.Start()
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Printf("cloudsim: HTTP on %s, MQTT on %s\n", httpAddr, mqttAddr)
+	for _, s := range specs {
+		for _, ep := range s.Endpoints {
+			mark := " "
+			if ep.Vulnerable {
+				mark = "!"
+			}
+			fmt.Printf(" %s device %2d  %-45s policy=%s\n", mark, s.DeviceID, ep.Path, ep.Policy)
+		}
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	seen := 0
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\ncloudsim: shutting down")
+			return nil
+		case <-ticker.C:
+			log := c.AccessLog()
+			for ; seen < len(log); seen++ {
+				a := log[seen]
+				fmt.Printf("access: device=%d endpoint=%s class=%q granted=%v\n",
+					a.DeviceID, a.Endpoint, a.Class, a.Granted)
+			}
+		}
+	}
+}

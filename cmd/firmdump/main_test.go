@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"firmres/internal/corpus"
+)
+
+func writeImage(t *testing.T, id int) string {
+	t.Helper()
+	img, err := corpus.BuildImage(corpus.Device(id))
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "fw.img")
+	if err := os.WriteFile(path, img.Pack(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestListImage(t *testing.T) {
+	if err := run(writeImage(t, 5), "", false, false); err != nil {
+		t.Errorf("list: %v", err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	if err := run(writeImage(t, 5), "/bin/cloudd", false, false); err != nil {
+		t.Errorf("disasm: %v", err)
+	}
+}
+
+func TestDumpPcode(t *testing.T) {
+	if err := run(writeImage(t, 5), "/bin/cloudd", true, false); err != nil {
+		t.Errorf("pcode: %v", err)
+	}
+}
+
+func TestDumpIdentify(t *testing.T) {
+	if err := run(writeImage(t, 5), "/bin/cloudd", false, true); err != nil {
+		t.Errorf("identify: %v", err)
+	}
+}
+
+func TestDumpNonBinary(t *testing.T) {
+	if err := run(writeImage(t, 5), "/etc/cloud.conf", false, false); err != nil {
+		t.Errorf("non-binary file: %v", err)
+	}
+}
+
+func TestDumpErrors(t *testing.T) {
+	if err := run(writeImage(t, 5), "/missing", false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "none.img"), "", false, false); err == nil {
+		t.Error("missing image accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.img")
+	os.WriteFile(bad, []byte("garbage"), 0o644)
+	if err := run(bad, "", false, false); err == nil {
+		t.Error("corrupt image accepted")
+	}
+}

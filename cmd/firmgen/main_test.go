@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"firmres/internal/image"
+)
+
+func TestRunGeneratesSingleDevice(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 17); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "device17.img"))
+	if err != nil {
+		t.Fatalf("read image: %v", err)
+	}
+	img, err := image.Unpack(data)
+	if err != nil {
+		t.Fatalf("unpack: %v", err)
+	}
+	if img.Device != "Cubetoou T9" {
+		t.Errorf("device = %q", img.Device)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil || len(manifest) == 0 {
+		t.Errorf("manifest: %v (%d bytes)", err, len(manifest))
+	}
+}
+
+func TestRunRejectsBadDevice(t *testing.T) {
+	if err := run(t.TempDir(), 99); err == nil {
+		t.Error("device 99 accepted")
+	}
+}
+
+func TestRunAllDevices(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 23 { // 22 images + MANIFEST
+		t.Errorf("generated %d files, want 23", len(entries))
+	}
+}

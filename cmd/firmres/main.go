@@ -1,0 +1,93 @@
+// Command firmres analyzes firmware images: it pinpoints the device-cloud
+// executable, reconstructs the device-cloud messages, and prints the
+// recovered fields, formats, and access-control findings.
+//
+// Usage:
+//
+//	firmres [-model file] [-json] image.img [image2.img ...]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"firmres"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "trained TextCNN model file (default: keyword classifier)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] image.img ...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := analyze(path, *modelPath, *asJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "firmres: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func analyze(path, modelPath string, asJSON bool) error {
+	var opts []firmres.Option
+	if modelPath != "" {
+		opts = append(opts, firmres.WithModelFile(modelPath))
+	}
+	report, err := firmres.AnalyzeFile(path, opts...)
+	if errors.Is(err, firmres.ErrNoDeviceCloudExecutable) {
+		fmt.Printf("%s: no device-cloud executable (script-based cloud agent?)\n", path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	printReport(path, report)
+	return nil
+}
+
+func printReport(path string, r *firmres.Report) {
+	fmt.Printf("== %s — %s (%s)\n", path, r.Device, r.Version)
+	fmt.Printf("   device-cloud executable: %s\n", r.Executable)
+	if r.ClusterCounts != nil {
+		fmt.Printf("   delimiter clusters: thd0.5=%d thd0.6=%d thd0.7=%d\n",
+			r.ClusterCounts["0.5"], r.ClusterCounts["0.6"], r.ClusterCounts["0.7"])
+	}
+	flagged := 0
+	for _, m := range r.Messages {
+		marker := " "
+		if m.Flagged {
+			marker = "!"
+			flagged++
+		}
+		route := m.Path
+		if m.Topic != "" {
+			route = "topic " + m.Topic
+		}
+		fmt.Printf(" %s %-24s %-6s %-42s %d fields", marker, m.Function, m.Format, route, len(m.Fields))
+		if m.Flagged {
+			fmt.Printf("  [%s] %s", m.Verdict, m.Detail)
+		}
+		if m.Discarded {
+			fmt.Printf("  [discarded] %s", m.Detail)
+		}
+		fmt.Println()
+		for _, f := range m.Fields {
+			if f.Semantics != "" && f.Semantics != "None" {
+				fmt.Printf("       %-14s %-16s %s=%s\n", f.Semantics, f.Source, f.Key, f.Value)
+			}
+		}
+	}
+	fmt.Printf("   %d messages reconstructed, %d flagged\n", len(r.Messages), flagged)
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"firmres/internal/corpus"
+)
+
+func writeImage(t *testing.T, id int) string {
+	t.Helper()
+	img, err := corpus.BuildImage(corpus.Device(id))
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "fw.img")
+	if err := os.WriteFile(path, img.Pack(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyzeTextOutput(t *testing.T) {
+	if err := analyze(writeImage(t, 5), "", false); err != nil {
+		t.Errorf("analyze: %v", err)
+	}
+}
+
+func TestAnalyzeJSONOutput(t *testing.T) {
+	if err := analyze(writeImage(t, 5), "", true); err != nil {
+		t.Errorf("analyze -json: %v", err)
+	}
+}
+
+func TestAnalyzeScriptOnlyIsNotAnError(t *testing.T) {
+	if err := analyze(writeImage(t, 21), "", false); err != nil {
+		t.Errorf("script-only device treated as error: %v", err)
+	}
+}
+
+func TestAnalyzeMissingFile(t *testing.T) {
+	if err := analyze(filepath.Join(t.TempDir(), "nope.img"), "", false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Camera audit: the end-to-end attack scenario of the paper on a smart
+// camera (corpus device 17, mirroring Table III's Cubetoou T9 rows).
+//
+// The example reconstructs the camera's device-cloud messages from its
+// firmware, discovers the victim's uid through the simulated SNMP/Shodan
+// discovery channel (threat model §III-B), forges the flagged messages with
+// attacker-obtainable values only, and probes the simulated vendor cloud —
+// demonstrating the uid-only access-control flaws.
+//
+//	go run ./examples/camera_audit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"firmres/internal/cloud"
+	"firmres/internal/core"
+	"firmres/internal/corpus"
+)
+
+func main() {
+	device := corpus.Device(17)
+	img, err := corpus.BuildImage(device)
+	if err != nil {
+		log.Fatalf("generate firmware: %v", err)
+	}
+
+	// Step 1: static analysis of the firmware.
+	res, err := core.New(core.Options{}).AnalyzeImage(img)
+	if err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+	fmt.Printf("analyzed %s %s: %d messages, %d flagged by the form check\n\n",
+		device.Vendor, device.Model, len(res.Messages), len(res.FlaggedMessages()))
+
+	// Step 2: stand up the vendor cloud and the discovery oracles.
+	vendorCloud := cloud.New(corpus.CloudSpec(device))
+	if _, _, err := vendorCloud.Start(); err != nil {
+		log.Fatalf("cloud: %v", err)
+	}
+	defer vendorCloud.Close()
+	prober := cloud.NewProber(vendorCloud)
+
+	registry := cloud.NewRegistry(cloud.ExposedDevice{
+		IP: "203.0.113.9", Model: device.Model, SNMPOpen: true,
+		Identity: device.Identity,
+	})
+
+	// Step 3: the attacker harvests identifiers (Shodan + SNMP).
+	exposed := registry.Shodan(device.Model)
+	fmt.Printf("discovery: Shodan finds %d exposed %s camera(s)\n", len(exposed), device.Model)
+	mac, err := registry.SNMPQuery(exposed[0].IP, cloud.OIDMac)
+	if err != nil {
+		log.Fatalf("snmp: %v", err)
+	}
+	serial, _ := registry.SNMPQuery(exposed[0].IP, cloud.OIDSerial)
+	fmt.Printf("discovery: SNMP leaks mac=%s serial=%s\n\n", mac, serial)
+
+	// Step 4: forge the flagged messages with attacker knowledge only.
+	for _, mr := range res.FlaggedMessages() {
+		attack := cloud.AttackerMessage(mr.Message, img)
+		pr, err := prober.Probe(attack)
+		if err != nil {
+			log.Fatalf("probe: %v", err)
+		}
+		verdict := "cloud resisted"
+		if pr.Granted {
+			verdict = "VULNERABLE — attacker request accepted"
+		}
+		fmt.Printf("%-26s %-40s %s\n", mr.Message.Function, routeOf(mr), verdict)
+		if pr.Granted {
+			for _, leak := range cloud.AuditResponse(pr.Body, device.Identity) {
+				fmt.Printf("    response audit: %s\n", leak)
+			}
+		}
+	}
+}
+
+func routeOf(mr *core.MessageResult) string {
+	if mr.Message.Topic != "" {
+		return "topic " + mr.Message.Topic
+	}
+	if mr.Message.Path != "" {
+		return mr.Message.Path
+	}
+	return mr.Message.Body[:min(40, len(mr.Message.Body))]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+// Quickstart: generate one synthetic firmware image, analyze it with the
+// public API, and print the reconstructed device-cloud messages.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"firmres"
+	"firmres/internal/corpus"
+)
+
+func main() {
+	// Generate the firmware of corpus device 12 (the "360 C5S" Wi-Fi
+	// router) — in a real deployment this would be a vendor image.
+	device := corpus.Device(12)
+	img, err := corpus.BuildImage(device)
+	if err != nil {
+		log.Fatalf("generate firmware: %v", err)
+	}
+	firmware := img.Pack()
+	fmt.Printf("firmware image: %s %s, %d bytes, %d files\n\n",
+		device.Vendor, device.Model, len(firmware), len(img.Files))
+
+	// Analyze it: pinpoint the device-cloud executable, reconstruct every
+	// message, recover field semantics, and check the message forms.
+	report, err := firmres.AnalyzeImage(firmware)
+	if err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+	fmt.Printf("device-cloud executable: %s\n", report.Executable)
+	fmt.Printf("reconstructed %d messages:\n\n", len(report.Messages))
+
+	for _, msg := range report.Messages {
+		route := msg.Path
+		if msg.Topic != "" {
+			route = "topic " + msg.Topic
+		}
+		fmt.Printf("%-22s %-6s %s\n", msg.Function, msg.Format, route)
+		if msg.Body != "" {
+			fmt.Printf("    body: %.100s\n", msg.Body)
+		}
+		for _, f := range msg.Fields {
+			if f.Semantics != "" && f.Semantics != "None" {
+				fmt.Printf("    %-14s %s = %s (from %s %s)\n",
+					f.Semantics, f.Key, f.Value, f.Source, f.SourceKey)
+			}
+		}
+		if msg.Flagged {
+			fmt.Printf("    !! %s: %s\n", msg.Verdict, msg.Detail)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,58 @@
+// Secret hunt: track hard-coded credentials across the corpus using the
+// §IV-E Dev-Secret source patterns — <Variable = Constant> and
+// <Variable = Function(Constant)> with the file read back from the firmware
+// filesystem.
+//
+//	go run ./examples/secret_hunt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"firmres/internal/core"
+	"firmres/internal/corpus"
+	"firmres/internal/formcheck"
+)
+
+func main() {
+	pipeline := core.New(core.Options{})
+	found := 0
+	for _, device := range corpus.Devices() {
+		if device.ScriptOnly {
+			continue
+		}
+		img, err := corpus.BuildImage(device)
+		if err != nil {
+			log.Fatalf("device %d: %v", device.ID, err)
+		}
+		res, err := pipeline.AnalyzeImage(img)
+		if err != nil {
+			log.Fatalf("device %d: %v", device.ID, err)
+		}
+		for i := range res.Messages {
+			mr := &res.Messages[i]
+			if len(mr.Finding.Hardcoded) == 0 {
+				continue
+			}
+			found++
+			fmt.Printf("device %2d %-22s %s\n", device.ID, mr.Message.Function, mr.Finding.Verdict)
+			for _, h := range mr.Finding.Hardcoded {
+				fmt.Printf("    %s\n", h)
+			}
+			// Show the recoverability judgement per credential field.
+			for _, f := range mr.Message.Fields {
+				if f.Structural || (f.Semantics != "Dev-Secret" && f.Semantics != "Bind-Token") {
+					continue
+				}
+				fmt.Printf("    field %-12s source=%-14s attacker-recoverable=%v\n",
+					f.Key, f.Source, formcheck.HardcodedSource(f, img))
+			}
+		}
+	}
+	if found == 0 {
+		fmt.Println("no hard-coded credentials in the corpus")
+	} else {
+		fmt.Printf("\n%d message(s) carry firmware-recoverable credentials\n", found)
+	}
+}

@@ -1,0 +1,195 @@
+// Package firmres reconstructs device-cloud messages from IoT firmware
+// images through static analysis, reproducing "FIRMRES: Exposing Broken
+// Device-Cloud Access Control in IoT Through Static Firmware Analysis"
+// (DSN 2024).
+//
+// Given a firmware image, the analysis pinpoints the device-cloud
+// executable by finding asynchronous request handlers, traces message
+// delivery callsites backwards to the sources of every message field,
+// builds a Message Field Tree, recovers field semantics (Dev-Identifier,
+// Dev-Secret, User-Cred, Bind-Token, Signature, Address), reconstructs the
+// concrete messages in field order, and flags messages whose access-control
+// primitives are missing or hard-coded.
+//
+// Quick start:
+//
+//	report, err := firmres.AnalyzeImage(firmwareBytes)
+//	if err != nil { ... }
+//	for _, msg := range report.Messages {
+//	    fmt.Println(msg.Path, msg.Body, msg.Verdict)
+//	}
+package firmres
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"firmres/internal/core"
+	"firmres/internal/image"
+	"firmres/internal/nn"
+	"firmres/internal/semantics"
+)
+
+// Field is one reconstructed message field.
+type Field struct {
+	Key        string  // recovered key text ("mac", "deviceId", "&sn=")
+	Semantics  string  // primitive label (see Labels)
+	Confidence float64 // classifier confidence
+	Source     string  // source kind: const-string, nvram, config, env, file, dynamic, const-numeric
+	SourceKey  string  // NVRAM/config/env key or file path
+	Value      string  // rendered concrete value
+}
+
+// Message is one reconstructed device-cloud message.
+type Message struct {
+	Function  string // firmware function constructing the message
+	Context   string // wrapper caller context ("" when constructed in place)
+	Deliver   string // delivery function (SSL_write, mqtt_publish, ...)
+	Format    string // json / query / mqtt / http / raw
+	Topic     string // MQTT topic
+	Path      string // HTTP path or query route
+	Body      string // rendered message body
+	Fields    []Field
+	Discarded bool   // dropped by the LAN-address filter
+	Flagged   bool   // marked by the message form check
+	Verdict   string // ok / missing-primitives / hardcoded-secret / no-primitives
+	Detail    string // human-readable finding
+}
+
+// Report is the analysis result for one firmware image.
+type Report struct {
+	Device        string
+	Version       string
+	Executable    string // identified device-cloud executable path
+	Messages      []Message
+	ClusterCounts map[string]int // "0.5"/"0.6"/"0.7" -> delimiter clusters; nil without sprintf
+	StageTimings  map[string]time.Duration
+}
+
+// Labels lists the semantic classes in canonical order.
+func Labels() []string { return append([]string(nil), semantics.Labels...) }
+
+// ErrNoDeviceCloudExecutable is returned when no binary in the image hosts
+// an asynchronous request handler (script-only cloud agents).
+var ErrNoDeviceCloudExecutable = core.ErrNoDeviceCloudExecutable
+
+// Option configures an analysis.
+type Option func(*config)
+
+type config struct {
+	opts core.Options
+}
+
+// WithKeywordClassifier selects the dictionary-based semantics classifier
+// (the default).
+func WithKeywordClassifier() Option {
+	return func(c *config) { c.opts.Classifier = &semantics.KeywordClassifier{} }
+}
+
+// WithModelFile selects a trained TextCNN semantics classifier loaded from
+// a model file produced by the training harness.
+func WithModelFile(path string) Option {
+	return func(c *config) {
+		f, err := os.Open(path)
+		if err != nil {
+			return // fall back to the default classifier
+		}
+		defer f.Close()
+		if model, err := nn.Load(f); err == nil {
+			c.opts.Classifier = &semantics.ModelClassifier{Model: model}
+		}
+	}
+}
+
+// WithModel selects an in-memory trained TextCNN classifier.
+func WithModel(model *nn.Model) Option {
+	return func(c *config) { c.opts.Classifier = &semantics.ModelClassifier{Model: model} }
+}
+
+// WithMinHandlerScore sets the minimum string-parsing score a function-call
+// sequence needs to count as a request handler (§IV-A).
+func WithMinHandlerScore(s float64) Option {
+	return func(c *config) { c.opts.MinScore = s }
+}
+
+// AnalyzeImage analyzes a packed firmware image.
+func AnalyzeImage(data []byte, opts ...Option) (*Report, error) {
+	img, err := image.Unpack(data)
+	if err != nil {
+		return nil, fmt.Errorf("firmres: %w", err)
+	}
+	return analyze(img, opts...)
+}
+
+// AnalyzeFile analyzes a firmware image file on disk.
+func AnalyzeFile(path string, opts ...Option) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("firmres: %w", err)
+	}
+	return AnalyzeImage(data, opts...)
+}
+
+func analyze(img *image.Image, opts ...Option) (*Report, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res, err := core.New(cfg.opts).AnalyzeImage(img)
+	if err != nil {
+		return nil, err
+	}
+	return reportOf(res), nil
+}
+
+func reportOf(res *core.Result) *Report {
+	r := &Report{
+		Device:       res.Device,
+		Version:      res.Version,
+		Executable:   res.Executable,
+		StageTimings: map[string]time.Duration{},
+	}
+	for s := core.StagePinpoint; s < core.Stage(len(res.Timing)); s++ {
+		r.StageTimings[s.String()] = res.Timing[s]
+	}
+	if res.ClusterCounts != nil {
+		r.ClusterCounts = map[string]int{}
+		for thd, n := range res.ClusterCounts {
+			r.ClusterCounts[fmt.Sprintf("%.1f", thd)] = n
+		}
+	}
+	core.SortMessagesByFunction(res.Messages)
+	for i := range res.Messages {
+		mr := &res.Messages[i]
+		msg := Message{
+			Function:  mr.Message.Function,
+			Context:   mr.Message.Context,
+			Deliver:   mr.Message.Deliver,
+			Format:    mr.Message.Format.String(),
+			Topic:     mr.Message.Topic,
+			Path:      mr.Message.Path,
+			Body:      mr.Message.Body,
+			Discarded: mr.Message.Discarded,
+			Flagged:   mr.Flagged(),
+			Verdict:   mr.Finding.Verdict.String(),
+			Detail:    mr.Finding.Detail,
+		}
+		if mr.Message.Discarded {
+			msg.Detail = mr.Message.Reason
+			msg.Verdict = "discarded"
+		}
+		for _, f := range mr.Message.Fields {
+			msg.Fields = append(msg.Fields, Field{
+				Key:        f.Key,
+				Semantics:  f.Semantics,
+				Confidence: f.Confidence,
+				Source:     f.Source.String(),
+				SourceKey:  f.SourceKey,
+				Value:      f.Value,
+			})
+		}
+		r.Messages = append(r.Messages, msg)
+	}
+	return r
+}

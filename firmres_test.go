@@ -1,0 +1,112 @@
+package firmres
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"firmres/internal/corpus"
+)
+
+func packedDevice(t *testing.T, id int) []byte {
+	t.Helper()
+	img, err := corpus.BuildImage(corpus.Device(id))
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	return img.Pack()
+}
+
+func TestAnalyzeImagePublicAPI(t *testing.T) {
+	report, err := AnalyzeImage(packedDevice(t, 17))
+	if err != nil {
+		t.Fatalf("AnalyzeImage: %v", err)
+	}
+	if report.Executable != "/bin/cloudd" {
+		t.Errorf("executable = %q", report.Executable)
+	}
+	if len(report.Messages) == 0 {
+		t.Fatal("no messages reconstructed")
+	}
+	var flagged int
+	for _, m := range report.Messages {
+		if m.Flagged {
+			flagged++
+		}
+		if m.Function == "" || m.Deliver == "" {
+			t.Errorf("message metadata incomplete: %+v", m)
+		}
+	}
+	if flagged == 0 {
+		t.Error("no flagged messages on a vulnerable device")
+	}
+	if report.ClusterCounts["0.5"] > report.ClusterCounts["0.7"] {
+		t.Errorf("cluster counts inverted: %v", report.ClusterCounts)
+	}
+	if len(report.StageTimings) != 5 {
+		t.Errorf("stage timings = %v", report.StageTimings)
+	}
+}
+
+func TestAnalyzeImageRejectsCorrupt(t *testing.T) {
+	if _, err := AnalyzeImage([]byte("garbage")); err == nil {
+		t.Error("corrupt image accepted")
+	}
+}
+
+func TestAnalyzeImageScriptOnly(t *testing.T) {
+	_, err := AnalyzeImage(packedDevice(t, 22))
+	if !errors.Is(err, ErrNoDeviceCloudExecutable) {
+		t.Errorf("err = %v, want ErrNoDeviceCloudExecutable", err)
+	}
+}
+
+func TestAnalyzeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "firmware.bin")
+	if err := os.WriteFile(path, packedDevice(t, 5), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, err := AnalyzeFile(path)
+	if err != nil {
+		t.Fatalf("AnalyzeFile: %v", err)
+	}
+	if report.Device == "" {
+		t.Error("device metadata missing")
+	}
+	if _, err := AnalyzeFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestMessagesSortedDeterministically(t *testing.T) {
+	r1, err := AnalyzeImage(packedDevice(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := AnalyzeImage(packedDevice(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Messages) != len(r2.Messages) {
+		t.Fatal("nondeterministic message count")
+	}
+	for i := range r1.Messages {
+		if r1.Messages[i].Function != r2.Messages[i].Function ||
+			r1.Messages[i].Body != r2.Messages[i].Body {
+			t.Fatalf("nondeterministic order/content at %d", i)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	labels := Labels()
+	if len(labels) != 7 || labels[len(labels)-1] != "None" {
+		t.Errorf("Labels = %v", labels)
+	}
+	// Mutating the copy must not affect the canonical list.
+	labels[0] = "mutated"
+	if Labels()[0] == "mutated" {
+		t.Error("Labels leaks internal slice")
+	}
+}

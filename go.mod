@@ -1,0 +1,3 @@
+module firmres
+
+go 1.22

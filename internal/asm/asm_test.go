@@ -1,0 +1,251 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"firmres/internal/binfmt"
+	"firmres/internal/isa"
+)
+
+func TestLinkSimpleProgram(t *testing.T) {
+	a := New("demo")
+	f := a.Func("main", 0, true)
+	f.LAStr(isa.R1, "hello")
+	f.CallImport("printf", 1)
+	f.LI(isa.R1, 0)
+	f.Ret()
+
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if bin.Name != "demo" {
+		t.Errorf("Name = %q", bin.Name)
+	}
+	if len(bin.Funcs) != 1 || bin.Funcs[0].Name != "main" {
+		t.Fatalf("Funcs = %+v", bin.Funcs)
+	}
+	instrs, err := bin.Instructions()
+	if err != nil {
+		t.Fatalf("Instructions: %v", err)
+	}
+	if len(instrs) != 4 {
+		t.Fatalf("got %d instructions, want 4", len(instrs))
+	}
+	// The interned string must be reachable through the LA immediate.
+	s, ok := bin.StringAt(uint32(instrs[0].Imm))
+	if !ok || s != "hello" {
+		t.Errorf("StringAt(LA target) = %q, %v", s, ok)
+	}
+	if err := bin.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestStringInterningDeduplicates(t *testing.T) {
+	a := New("x")
+	addr1 := a.InternString("dup")
+	addr2 := a.InternString("dup")
+	addr3 := a.InternString("other")
+	if addr1 != addr2 {
+		t.Errorf("duplicate string got distinct addresses %#x, %#x", addr1, addr2)
+	}
+	if addr3 == addr1 {
+		t.Errorf("distinct strings share address %#x", addr1)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	a := New("x")
+	f := a.Func("loop", 1, true)
+	f.NameParam(isa.R1, "count")
+	f.LI(isa.R2, 0) // i = 0
+	top := f.NewLabel()
+	done := f.NewLabel()
+	f.Bind(top)
+	f.Bge(isa.R2, isa.R1, done)
+	f.AddI(isa.R2, isa.R2, 1)
+	f.Jmp(top)
+	f.Bind(done)
+	f.Mov(isa.R1, isa.R2)
+	f.Ret()
+
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	instrs, _ := bin.Instructions()
+	base := bin.Funcs[0].Addr
+	// Instruction 1 (bge) must target instruction 4; instruction 3 (jmp)
+	// must target instruction 1.
+	if got := uint32(instrs[1].Imm); got != base+4*isa.InstrSize {
+		t.Errorf("bge target = %#x, want %#x", got, base+4*isa.InstrSize)
+	}
+	if got := uint32(instrs[3].Imm); got != base+1*isa.InstrSize {
+		t.Errorf("jmp target = %#x, want %#x", got, base+1*isa.InstrSize)
+	}
+	// Parameter debug record must survive linking.
+	if v, ok := bin.VarName(base, isa.R1); !ok || v.Name != "count" || v.Kind != binfmt.VarParam {
+		t.Errorf("VarName = %+v, %v", v, ok)
+	}
+}
+
+func TestCrossFunctionCall(t *testing.T) {
+	a := New("x")
+	callee := a.Func("helper", 1, true)
+	callee.AddI(isa.R1, isa.R1, 1)
+	callee.Ret()
+	caller := a.Func("main", 0, true)
+	caller.LI(isa.R1, 41)
+	caller.Call("helper")
+	caller.Ret()
+
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	helper, _ := bin.FuncByName("helper")
+	instrs, _ := bin.Instructions()
+	callIdx := len(callee.instrs) + 1
+	if got := uint32(instrs[callIdx].Imm); got != helper.Addr {
+		t.Errorf("call target = %#x, want %#x", got, helper.Addr)
+	}
+}
+
+func TestLAFuncResolvesFunctionAddress(t *testing.T) {
+	a := New("x")
+	h := a.Func("on_msg", 2, true)
+	h.Ret()
+	m := a.Func("main", 0, false)
+	m.LAFunc(isa.R1, "on_msg")
+	m.CallImport("event_register", 2)
+	m.Ret()
+
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	handler, _ := bin.FuncByName("on_msg")
+	mainFn, _ := bin.FuncByName("main")
+	in, err := bin.InstructionAt(mainFn.Addr)
+	if err != nil {
+		t.Fatalf("InstructionAt: %v", err)
+	}
+	if uint32(in.Imm) != handler.Addr {
+		t.Errorf("LAFunc immediate = %#x, want %#x", uint32(in.Imm), handler.Addr)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	t.Run("undefined call target", func(t *testing.T) {
+		a := New("x")
+		f := a.Func("main", 0, false)
+		f.Call("ghost")
+		f.Ret()
+		if _, err := a.Link(); err == nil || !strings.Contains(err.Error(), "ghost") {
+			t.Errorf("Link = %v, want undefined-function error", err)
+		}
+	})
+	t.Run("unbound label", func(t *testing.T) {
+		a := New("x")
+		f := a.Func("main", 0, false)
+		l := f.NewLabel()
+		f.Jmp(l)
+		f.Ret()
+		if _, err := a.Link(); err == nil {
+			t.Error("Link accepted unbound label")
+		}
+	})
+	t.Run("empty function", func(t *testing.T) {
+		a := New("x")
+		a.Func("main", 0, false)
+		if _, err := a.Link(); err == nil {
+			t.Error("Link accepted empty function")
+		}
+	})
+	t.Run("duplicate function", func(t *testing.T) {
+		a := New("x")
+		a.Func("main", 0, false).Ret()
+		a.Func("main", 0, false).Ret()
+		if _, err := a.Link(); err == nil {
+			t.Error("Link accepted duplicate function")
+		}
+	})
+	t.Run("unknown import", func(t *testing.T) {
+		a := New("x")
+		f := a.Func("main", 0, false)
+		f.CallImport("not_a_libc_function", 1)
+		f.Ret()
+		if _, err := a.Link(); err == nil {
+			t.Error("Link accepted unknown import")
+		}
+	})
+	t.Run("arity mismatch", func(t *testing.T) {
+		a := New("x")
+		f := a.Func("main", 0, false)
+		f.CallImport("strcpy", 3) // strcpy takes 2
+		f.Ret()
+		if _, err := a.Link(); err == nil {
+			t.Error("Link accepted arity mismatch")
+		}
+	})
+	t.Run("excess function arity", func(t *testing.T) {
+		a := New("x")
+		a.Func("main", 9, false).Ret()
+		if _, err := a.Link(); err == nil {
+			t.Error("Link accepted 9-ary function")
+		}
+	})
+}
+
+func TestVariadicImportAcceptsAnyArity(t *testing.T) {
+	a := New("x")
+	f := a.Func("main", 0, false)
+	f.CallImport("sprintf", 2)
+	f.CallImport("sprintf", 5)
+	f.Ret()
+	if _, err := a.Link(); err != nil {
+		t.Errorf("Link: %v", err)
+	}
+}
+
+func TestImportIndicesStable(t *testing.T) {
+	a := New("x")
+	f := a.Func("main", 0, false)
+	f.CallImport("strcpy", 2)
+	f.CallImport("strcat", 2)
+	f.CallImport("strcpy", 2)
+	f.Ret()
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if len(bin.Imports) != 2 {
+		t.Fatalf("Imports = %+v, want 2 entries", bin.Imports)
+	}
+	instrs, _ := bin.Instructions()
+	if instrs[0].Imm != instrs[2].Imm {
+		t.Error("same import resolved to different indices")
+	}
+}
+
+func TestMarshalRoundTripThroughLink(t *testing.T) {
+	a := New("round")
+	f := a.Func("main", 0, true)
+	f.LAStr(isa.R1, "payload")
+	f.NameVar(isa.R1, "msg")
+	f.CallImport("SSL_write", 3)
+	f.Ret()
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	got, err := binfmt.Unmarshal(bin.Marshal())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Name != "round" || len(got.Funcs) != 1 || len(got.Vars) != 1 {
+		t.Errorf("round trip lost structure: %+v", got)
+	}
+}

@@ -1,0 +1,211 @@
+package binfmt
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"firmres/internal/isa"
+)
+
+// sample builds a small but fully-populated binary for round-trip tests.
+func sample() *Binary {
+	var text []byte
+	for _, in := range []isa.Instruction{
+		{Op: isa.OpLA, Rd: isa.R1, Imm: int32(DefaultDataBase)},
+		{Op: isa.OpCallI, Rs1: 1, Imm: 0},
+		{Op: isa.OpRet},
+	} {
+		text = in.Encode(text)
+	}
+	return &Binary{
+		Name:     "httpd",
+		TextBase: DefaultTextBase,
+		Text:     text,
+		DataBase: DefaultDataBase,
+		Data:     []byte("GET /register\x00\x01\x02\x03"),
+		Imports:  []Import{{Name: "printf", NumParams: -1, HasResult: true}},
+		Funcs: []FuncSym{
+			{Name: "main", Addr: DefaultTextBase, Size: uint32(len(text)), NumParams: 0, HasResult: true},
+		},
+		DataSyms: []DataSym{
+			{Name: "", Addr: DefaultDataBase, Size: 14, Kind: DataString},
+			{Name: "blob", Addr: DefaultDataBase + 14, Size: 3, Kind: DataBytes},
+		},
+		Vars: []LocalVar{
+			{FuncAddr: DefaultTextBase, Reg: isa.R1, Kind: VarLocal, Name: "buf"},
+		},
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	want := sample()
+	raw := want.Marshal()
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestUnmarshalRejectsBadMagic(t *testing.T) {
+	if _, err := Unmarshal([]byte("NOPE....")); err == nil {
+		t.Error("Unmarshal accepted bad magic")
+	}
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	raw := sample().Marshal()
+	// Every strict prefix must fail or at worst produce a binary that fails
+	// validation; it must never panic.
+	for n := 0; n < len(raw); n += 7 {
+		b, err := Unmarshal(raw[:n])
+		if err == nil && b != nil {
+			// A prefix that happens to parse must still be structurally valid
+			// or detectably incomplete.
+			if verr := b.Validate(); verr == nil && n < len(raw)/2 {
+				t.Errorf("prefix of %d bytes parsed and validated", n)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsHugeCounts(t *testing.T) {
+	// Hand-craft a binary whose imports section claims 2^31 entries.
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	writeU32(&buf, DefaultTextBase)
+	writeU32(&buf, DefaultDataBase)
+	writeSection(&buf, sectImports, func(w *bytes.Buffer) {
+		writeU32(w, 1<<31)
+	})
+	if _, err := Unmarshal(buf.Bytes()); err == nil {
+		t.Error("Unmarshal accepted absurd import count")
+	}
+}
+
+func TestFuncLookups(t *testing.T) {
+	b := sample()
+	if f, ok := b.FuncAt(DefaultTextBase + isa.InstrSize); !ok || f.Name != "main" {
+		t.Errorf("FuncAt mid-function = %v, %v", f, ok)
+	}
+	if _, ok := b.FuncAt(DefaultTextBase + 1000); ok {
+		t.Error("FuncAt out of range succeeded")
+	}
+	if f, ok := b.FuncByName("main"); !ok || f.Addr != DefaultTextBase {
+		t.Errorf("FuncByName = %v, %v", f, ok)
+	}
+	if _, ok := b.FuncByName("nope"); ok {
+		t.Error("FuncByName(nope) succeeded")
+	}
+	if idx, ok := b.ImportIndex("printf"); !ok || idx != 0 {
+		t.Errorf("ImportIndex = %d, %v", idx, ok)
+	}
+}
+
+func TestStringAt(t *testing.T) {
+	b := sample()
+	if s, ok := b.StringAt(DefaultDataBase); !ok || s != "GET /register" {
+		t.Errorf("StringAt = %q, %v", s, ok)
+	}
+	if _, ok := b.StringAt(DefaultDataBase - 4); ok {
+		t.Error("StringAt outside data succeeded")
+	}
+	// A region with no NUL terminator before the end must fail.
+	noNul := &Binary{DataBase: DefaultDataBase, Data: []byte("abc")}
+	if _, ok := noNul.StringAt(DefaultDataBase); ok {
+		t.Error("StringAt without terminator succeeded")
+	}
+}
+
+func TestDataSymAtAndVarName(t *testing.T) {
+	b := sample()
+	if s, ok := b.DataSymAt(DefaultDataBase + 15); !ok || s.Name != "blob" {
+		t.Errorf("DataSymAt = %+v, %v", s, ok)
+	}
+	if v, ok := b.VarName(DefaultTextBase, isa.R1); !ok || v.Name != "buf" {
+		t.Errorf("VarName = %+v, %v", v, ok)
+	}
+	if _, ok := b.VarName(DefaultTextBase, isa.R2); ok {
+		t.Error("VarName for unnamed register succeeded")
+	}
+}
+
+func TestValidateCatchesBadness(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Binary)
+	}{
+		{"misaligned text", func(b *Binary) { b.Text = b.Text[:len(b.Text)-1] }},
+		{"func outside text", func(b *Binary) { b.Funcs[0].Addr = 0xdead_0000 }},
+		{"data sym outside data", func(b *Binary) { b.DataSyms[0].Addr = 4 }},
+		{"calli out of range", func(b *Binary) { b.Imports = nil }},
+		{"call outside text", func(b *Binary) {
+			in := isa.Instruction{Op: isa.OpCall, Imm: 4}
+			b.Text = in.Encode(nil)
+			b.Funcs[0].Size = isa.InstrSize
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := sample()
+			tt.mutate(b)
+			if err := b.Validate(); err == nil {
+				t.Error("Validate passed, want error")
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsSample(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Errorf("Validate(sample) = %v", err)
+	}
+}
+
+func TestInstructionAt(t *testing.T) {
+	b := sample()
+	in, err := b.InstructionAt(DefaultTextBase + isa.InstrSize)
+	if err != nil {
+		t.Fatalf("InstructionAt: %v", err)
+	}
+	if in.Op != isa.OpCallI {
+		t.Errorf("InstructionAt op = %v, want calli", in.Op)
+	}
+	if _, err := b.InstructionAt(DefaultTextBase + 3); err == nil {
+		t.Error("InstructionAt misaligned succeeded")
+	}
+	if _, err := b.InstructionAt(0); err == nil {
+		t.Error("InstructionAt outside text succeeded")
+	}
+}
+
+// TestMarshalRoundTripProperty fuzzes name/data content through the
+// marshal/unmarshal cycle.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(name string, data []byte) bool {
+		b := &Binary{
+			Name:     name,
+			TextBase: DefaultTextBase,
+			DataBase: DefaultDataBase,
+			Data:     data,
+		}
+		got, err := Unmarshal(b.Marshal())
+		if err != nil {
+			return false
+		}
+		if got.Name != name {
+			return false
+		}
+		if len(data) == 0 {
+			return len(got.Data) == 0
+		}
+		return bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package callgraph builds the whole-binary call graph over a lifted
+// program and answers the queries the FIRMRES pipeline needs:
+//
+//   - caller/callee adjacency (taint backtracing, §IV-B propagation rules);
+//   - callsite lookup by callee name (anchor-node discovery, §IV-A);
+//   - shortest call-graph distances and paths between functions (pairing of
+//     fun_in/fun_out anchors and handler-sequence extraction, Fig. 4).
+package callgraph
+
+import (
+	"sort"
+
+	"firmres/internal/pcode"
+)
+
+// Edge is one resolved direct call.
+type Edge struct {
+	Caller *pcode.Function
+	Callee *pcode.Function
+	Site   pcode.CallSite
+}
+
+// Graph is the call graph of one program.
+type Graph struct {
+	Prog      *pcode.Program
+	edges     []Edge
+	calleesOf map[uint32][]Edge // caller addr -> outgoing edges
+	callersOf map[uint32][]Edge // callee addr -> incoming edges
+	importCS  map[string][]pcode.CallSite
+	funcRefs  map[uint32][]pcode.CallSite // function address materialized as a constant (callback registration)
+}
+
+// Build constructs the call graph.
+func Build(prog *pcode.Program) *Graph {
+	g := &Graph{
+		Prog:      prog,
+		calleesOf: make(map[uint32][]Edge),
+		callersOf: make(map[uint32][]Edge),
+		importCS:  make(map[string][]pcode.CallSite),
+		funcRefs:  make(map[uint32][]pcode.CallSite),
+	}
+	for _, f := range prog.Funcs {
+		for i := range f.Ops {
+			op := &f.Ops[i]
+			// Track function addresses materialized as constants: these are
+			// callback registrations (event_register(&handler, ...)), the
+			// implicit-invocation channel of §IV-A.
+			if op.Code == pcode.COPY && len(op.Inputs) == 1 && op.Inputs[0].IsConst() {
+				if callee, ok := prog.FuncAt(uint32(op.Inputs[0].Offset)); ok {
+					g.funcRefs[callee.Addr()] = append(g.funcRefs[callee.Addr()],
+						pcode.CallSite{Fn: f, OpIdx: i})
+				}
+			}
+			if op.Call == nil {
+				continue
+			}
+			site := pcode.CallSite{Fn: f, OpIdx: i}
+			switch op.Call.Kind {
+			case pcode.CallLocal:
+				callee, ok := prog.FuncAt(op.Call.Addr)
+				if !ok {
+					continue
+				}
+				e := Edge{Caller: f, Callee: callee, Site: site}
+				g.edges = append(g.edges, e)
+				g.calleesOf[f.Addr()] = append(g.calleesOf[f.Addr()], e)
+				g.callersOf[callee.Addr()] = append(g.callersOf[callee.Addr()], e)
+			case pcode.CallImported:
+				g.importCS[op.Call.Name] = append(g.importCS[op.Call.Name], site)
+			}
+		}
+	}
+	return g
+}
+
+// Edges returns all resolved direct-call edges.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Callees returns the outgoing edges of f.
+func (g *Graph) Callees(f *pcode.Function) []Edge { return g.calleesOf[f.Addr()] }
+
+// Callers returns the incoming edges of f.
+func (g *Graph) Callers(f *pcode.Function) []Edge { return g.callersOf[f.Addr()] }
+
+// ImportCallSites returns the callsites invoking the named import.
+func (g *Graph) ImportCallSites(name string) []pcode.CallSite { return g.importCS[name] }
+
+// ImportNames returns the sorted names of imports with at least one callsite.
+func (g *Graph) ImportNames() []string {
+	out := make([]string, 0, len(g.importCS))
+	for name := range g.importCS {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddressTaken returns the sites where f's address is materialized as a
+// constant (callback registration), excluding direct calls.
+func (g *Graph) AddressTaken(f *pcode.Function) []pcode.CallSite { return g.funcRefs[f.Addr()] }
+
+// HasDirectCaller reports whether any function directly calls f.
+func (g *Graph) HasDirectCaller(f *pcode.Function) bool { return len(g.callersOf[f.Addr()]) > 0 }
+
+// Distance returns the length of the shortest undirected call-graph path
+// between two functions, or -1 when they are disconnected. The paper pairs
+// fun_in/fun_out anchor callsites "by their closest distances on the call
+// graph"; undirected distance is the natural metric because the anchors sit
+// in callees on both sides of the handler's spine.
+func (g *Graph) Distance(a, b *pcode.Function) int {
+	path := g.Path(a, b)
+	if path == nil {
+		return -1
+	}
+	return len(path) - 1
+}
+
+// Path returns the functions along one shortest undirected path from a to b,
+// inclusive of both endpoints, or nil when disconnected. The result is the
+// "function call sequence" S of §IV-A over which the string-parsing factor
+// is maximized.
+func (g *Graph) Path(a, b *pcode.Function) []*pcode.Function {
+	if a == nil || b == nil {
+		return nil
+	}
+	if a.Addr() == b.Addr() {
+		return []*pcode.Function{a}
+	}
+	prev := map[uint32]uint32{a.Addr(): a.Addr()}
+	queue := []*pcode.Function{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var neighbors []*pcode.Function
+		for _, e := range g.calleesOf[cur.Addr()] {
+			neighbors = append(neighbors, e.Callee)
+		}
+		for _, e := range g.callersOf[cur.Addr()] {
+			neighbors = append(neighbors, e.Caller)
+		}
+		for _, nb := range neighbors {
+			if _, seen := prev[nb.Addr()]; seen {
+				continue
+			}
+			prev[nb.Addr()] = cur.Addr()
+			if nb.Addr() == b.Addr() {
+				return g.tracePath(prev, a, nb)
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
+func (g *Graph) tracePath(prev map[uint32]uint32, a, end *pcode.Function) []*pcode.Function {
+	var rev []*pcode.Function
+	for cur := end; ; {
+		rev = append(rev, cur)
+		if cur.Addr() == a.Addr() {
+			break
+		}
+		next, ok := g.Prog.FuncAt(prev[cur.Addr()])
+		if !ok {
+			return nil
+		}
+		cur = next
+	}
+	out := make([]*pcode.Function, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}

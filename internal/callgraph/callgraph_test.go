@@ -1,0 +1,163 @@
+package callgraph
+
+import (
+	"testing"
+
+	"firmres/internal/asm"
+	"firmres/internal/isa"
+	"firmres/internal/pcode"
+)
+
+// buildChain assembles: main -> dispatch -> parse -> send(recv import inside
+// parse), plus an async handler registered by callback and never called.
+func buildChain(t *testing.T) (*pcode.Program, *Graph) {
+	t.Helper()
+	a := asm.New("t")
+
+	parse := a.Func("parse", 1, true)
+	parse.CallImport("recv", 4)
+	parse.CallImport("send", 4)
+	parse.Ret()
+
+	dispatch := a.Func("dispatch", 1, true)
+	dispatch.Call("parse")
+	dispatch.Ret()
+
+	handler := a.Func("on_cloud_msg", 2, true)
+	handler.CallImport("recv", 4)
+	handler.Ret()
+
+	mainFn := a.Func("main", 0, true)
+	mainFn.Call("dispatch")
+	mainFn.Call("dispatch")
+	mainFn.LAFunc(isa.R1, "on_cloud_msg")
+	mainFn.CallImport("event_register", 2)
+	mainFn.Ret()
+
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	prog, err := pcode.LiftProgram(bin)
+	if err != nil {
+		t.Fatalf("LiftProgram: %v", err)
+	}
+	return prog, Build(prog)
+}
+
+func TestEdges(t *testing.T) {
+	prog, g := buildChain(t)
+	mainFn, _ := prog.FuncByName("main")
+	dispatch, _ := prog.FuncByName("dispatch")
+	parse, _ := prog.FuncByName("parse")
+
+	if got := len(g.Callees(mainFn)); got != 2 {
+		t.Errorf("main callees = %d, want 2 (two calls to dispatch)", got)
+	}
+	if got := len(g.Callers(dispatch)); got != 2 {
+		t.Errorf("dispatch callers = %d, want 2", got)
+	}
+	if got := len(g.Callers(parse)); got != 1 {
+		t.Errorf("parse callers = %d, want 1", got)
+	}
+	if len(g.Edges()) != 3 {
+		t.Errorf("total edges = %d, want 3", len(g.Edges()))
+	}
+}
+
+func TestImportCallSites(t *testing.T) {
+	_, g := buildChain(t)
+	recvSites := g.ImportCallSites("recv")
+	if len(recvSites) != 2 {
+		t.Fatalf("recv callsites = %d, want 2", len(recvSites))
+	}
+	if len(g.ImportCallSites("send")) != 1 {
+		t.Error("send callsites != 1")
+	}
+	if g.ImportCallSites("sprintf") != nil {
+		t.Error("phantom sprintf callsites")
+	}
+	names := g.ImportNames()
+	if len(names) != 3 { // recv, send, event_register
+		t.Errorf("ImportNames = %v", names)
+	}
+}
+
+func TestAsyncHandlerHasNoDirectCaller(t *testing.T) {
+	prog, g := buildChain(t)
+	handler, _ := prog.FuncByName("on_cloud_msg")
+	parse, _ := prog.FuncByName("parse")
+	if g.HasDirectCaller(handler) {
+		t.Error("callback-registered handler reported as directly called")
+	}
+	if !g.HasDirectCaller(parse) {
+		t.Error("parse reported as not directly called")
+	}
+	refs := g.AddressTaken(handler)
+	if len(refs) != 1 {
+		t.Fatalf("AddressTaken = %d sites, want 1", len(refs))
+	}
+	if refs[0].Fn.Name() != "main" {
+		t.Errorf("address taken in %q, want main", refs[0].Fn.Name())
+	}
+}
+
+func TestDistanceAndPath(t *testing.T) {
+	prog, g := buildChain(t)
+	mainFn, _ := prog.FuncByName("main")
+	dispatch, _ := prog.FuncByName("dispatch")
+	parse, _ := prog.FuncByName("parse")
+	handler, _ := prog.FuncByName("on_cloud_msg")
+
+	if d := g.Distance(mainFn, parse); d != 2 {
+		t.Errorf("Distance(main, parse) = %d, want 2", d)
+	}
+	if d := g.Distance(parse, parse); d != 0 {
+		t.Errorf("Distance(parse, parse) = %d, want 0", d)
+	}
+	// Undirected: parse -> main also works.
+	if d := g.Distance(parse, mainFn); d != 2 {
+		t.Errorf("Distance(parse, main) = %d, want 2", d)
+	}
+	// The handler is disconnected from the direct-call graph.
+	if d := g.Distance(mainFn, handler); d != -1 {
+		t.Errorf("Distance(main, handler) = %d, want -1", d)
+	}
+	path := g.Path(mainFn, parse)
+	if len(path) != 3 || path[0] != mainFn || path[1] != dispatch || path[2] != parse {
+		names := make([]string, len(path))
+		for i, f := range path {
+			names[i] = f.Name()
+		}
+		t.Errorf("Path(main, parse) = %v", names)
+	}
+	if g.Path(nil, parse) != nil {
+		t.Error("Path with nil endpoint returned non-nil")
+	}
+}
+
+func TestRecursionDoesNotHang(t *testing.T) {
+	a := asm.New("t")
+	f := a.Func("rec", 1, true)
+	f.Call("rec")
+	f.Ret()
+	other := a.Func("island", 0, false)
+	other.Ret()
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	prog, err := pcode.LiftProgram(bin)
+	if err != nil {
+		t.Fatalf("LiftProgram: %v", err)
+	}
+	g := Build(prog)
+	rec, _ := prog.FuncByName("rec")
+	island, _ := prog.FuncByName("island")
+	if d := g.Distance(rec, island); d != -1 {
+		t.Errorf("Distance to island = %d, want -1", d)
+	}
+	if !g.HasDirectCaller(rec) {
+		t.Error("self-recursive function has no caller")
+	}
+}

@@ -1,0 +1,201 @@
+// Package cfg builds intra-procedural control-flow graphs over lifted
+// P-Code functions. Blocks are delimited at machine-instruction granularity
+// (branch targets are machine addresses) but contain P-Code op index ranges,
+// which is what the dataflow and taint layers traverse.
+package cfg
+
+import (
+	"sort"
+
+	"firmres/internal/pcode"
+)
+
+// Block is one basic block: the half-open op range [Start, End) plus edges.
+type Block struct {
+	ID    int
+	Start int // index of first op in the block
+	End   int // index one past the last op
+	Succs []int
+	Preds []int
+}
+
+// Graph is the CFG of one function.
+type Graph struct {
+	Fn     *pcode.Function
+	Blocks []*Block
+	byOp   []int // op index -> block ID
+}
+
+// Build constructs the CFG of fn.
+func Build(fn *pcode.Function) *Graph {
+	g := &Graph{Fn: fn}
+	n := len(fn.Ops)
+	if n == 0 {
+		return g
+	}
+
+	// Leaders: op 0, targets of branches, and ops following a terminator.
+	leader := make(map[int]bool, 8)
+	leader[0] = true
+	for i := range fn.Ops {
+		op := &fn.Ops[i]
+		switch op.Code {
+		case pcode.BRANCH, pcode.CBRANCH:
+			if target, ok := op.BranchTarget(); ok {
+				if idx, ok := g.opIndexAtOrAfter(target); ok {
+					leader[idx] = true
+				}
+			}
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case pcode.RETURN:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+
+	starts := make([]int, 0, len(leader))
+	for idx := range leader {
+		starts = append(starts, idx)
+	}
+	sort.Ints(starts)
+
+	g.byOp = make([]int, n)
+	for bi, s := range starts {
+		e := n
+		if bi+1 < len(starts) {
+			e = starts[bi+1]
+		}
+		b := &Block{ID: bi, Start: s, End: e}
+		g.Blocks = append(g.Blocks, b)
+		for i := s; i < e; i++ {
+			g.byOp[i] = bi
+		}
+	}
+
+	// Edges.
+	for _, b := range g.Blocks {
+		last := &fn.Ops[b.End-1]
+		switch last.Code {
+		case pcode.BRANCH:
+			g.addEdgeToAddr(b, last)
+		case pcode.CBRANCH:
+			g.addEdgeToAddr(b, last)
+			g.addFallthrough(b)
+		case pcode.RETURN:
+			// No successors.
+		default:
+			g.addFallthrough(b)
+		}
+	}
+	return g
+}
+
+// opIndexAtOrAfter maps a machine address to the first op at or after it
+// (NOPs lift to no ops, so an exact-address lookup can miss).
+func (g *Graph) opIndexAtOrAfter(addr uint32) (int, bool) {
+	if idx, ok := g.Fn.OpIndexAt(addr); ok {
+		return idx, true
+	}
+	ops := g.Fn.Ops
+	i := sort.Search(len(ops), func(i int) bool { return ops[i].Addr >= addr })
+	if i < len(ops) {
+		return i, true
+	}
+	return 0, false
+}
+
+func (g *Graph) addEdgeToAddr(b *Block, op *pcode.Op) {
+	target, ok := op.BranchTarget()
+	if !ok {
+		return
+	}
+	idx, ok := g.opIndexAtOrAfter(target)
+	if !ok {
+		return
+	}
+	g.link(b.ID, g.byOp[idx])
+}
+
+func (g *Graph) addFallthrough(b *Block) {
+	if b.End < len(g.Fn.Ops) {
+		g.link(b.ID, g.byOp[b.End])
+	}
+}
+
+func (g *Graph) link(from, to int) {
+	f, t := g.Blocks[from], g.Blocks[to]
+	for _, s := range f.Succs {
+		if s == to {
+			return
+		}
+	}
+	f.Succs = append(f.Succs, to)
+	t.Preds = append(t.Preds, from)
+}
+
+// BlockOf returns the block containing the op at index i.
+func (g *Graph) BlockOf(i int) *Block {
+	if i < 0 || i >= len(g.byOp) {
+		return nil
+	}
+	return g.Blocks[g.byOp[i]]
+}
+
+// ReversePostOrder returns block IDs in reverse post-order from the entry,
+// the canonical iteration order for forward dataflow problems. Unreachable
+// blocks are appended afterwards in ID order so analyses still cover them.
+func (g *Graph) ReversePostOrder() []int {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	visited := make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(id int) {
+		visited[id] = true
+		for _, s := range g.Blocks[id].Succs {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, id)
+	}
+	dfs(0)
+	out := make([]int, 0, len(g.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	for id := range g.Blocks {
+		if !visited[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// EntryReaches reports whether block id is reachable from the entry block.
+func (g *Graph) EntryReaches(id int) bool {
+	if len(g.Blocks) == 0 {
+		return false
+	}
+	seen := make([]bool, len(g.Blocks))
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == id {
+			return true
+		}
+		for _, s := range g.Blocks[cur].Succs {
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return false
+}

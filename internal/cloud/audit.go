@@ -1,0 +1,30 @@
+package cloud
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AuditResponse reviews a cloud response body for leaked per-device
+// material (§IV-E manual verification: "the responses themselves could
+// include sensitive information... some vendors return Bind-Token to the
+// device"). It returns a description of each credential found.
+func AuditResponse(body string, id Identity) []string {
+	var out []string
+	checks := []struct {
+		value string
+		what  string
+	}{
+		{id.Secret, "device secret (Dev-Secret)"},
+		{id.BindToken, "binding token (Bind-Token)"},
+		{id.FixedToken(), "per-model fixed token"},
+		{id.Password, "user credential (User-Cred)"},
+		{id.Signature(), "request signature"},
+	}
+	for _, c := range checks {
+		if c.value != "" && strings.Contains(body, c.value) {
+			out = append(out, fmt.Sprintf("response leaks the %s (%q)", c.what, c.value))
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package cloud
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Registry simulates the attacker's device-discovery channels of §III-B:
+// Shodan-style scans of Internet-exposed SNMP services, MAC-prefix
+// enumeration, and information recorded during device ownership transfer.
+type Registry struct {
+	exposed []ExposedDevice
+}
+
+// ExposedDevice is one Internet-visible device.
+type ExposedDevice struct {
+	IP       string
+	Model    string
+	SNMPOpen bool
+	Identity Identity
+}
+
+// NewRegistry builds a discovery registry.
+func NewRegistry(devices ...ExposedDevice) *Registry {
+	return &Registry{exposed: devices}
+}
+
+// Shodan returns the devices of a model with an open SNMP port (161), as a
+// Shodan query would.
+func (r *Registry) Shodan(model string) []ExposedDevice {
+	var out []ExposedDevice
+	for _, d := range r.exposed {
+		if d.SNMPOpen && d.Model == model {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// SNMP OIDs for the identifier objects the paper queries from vendor MIBs.
+const (
+	OIDMac    = "1.3.6.1.2.1.2.2.1.6"
+	OIDSerial = "1.3.6.1.4.1.9999.1.1"
+)
+
+// SNMPQuery answers an OID get against an exposed device (plaintext,
+// default community — the weakness the paper exploits).
+func (r *Registry) SNMPQuery(ip, oid string) (string, error) {
+	for _, d := range r.exposed {
+		if d.IP != ip {
+			continue
+		}
+		if !d.SNMPOpen {
+			return "", fmt.Errorf("cloud: %s: SNMP port closed", ip)
+		}
+		switch oid {
+		case OIDMac:
+			return d.Identity.MAC, nil
+		case OIDSerial:
+			return d.Identity.Serial, nil
+		default:
+			return "", fmt.Errorf("cloud: %s: no such OID %s", ip, oid)
+		}
+	}
+	return "", fmt.Errorf("cloud: no device at %s", ip)
+}
+
+// EnumerateMACs brute-forces the vendor-assigned suffix of a MAC prefix
+// (the first three bytes are the vendor's fixed OUI), returning the exposed
+// devices whose MAC falls in the prefix.
+func (r *Registry) EnumerateMACs(oui string) []ExposedDevice {
+	var out []ExposedDevice
+	prefix := strings.ToUpper(oui)
+	for _, d := range r.exposed {
+		if strings.HasPrefix(strings.ToUpper(d.Identity.MAC), prefix) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"firmres/internal/fields"
+	"firmres/internal/formcheck"
+	"firmres/internal/image"
+	"firmres/internal/mqtt"
+	"firmres/internal/semantics"
+	"firmres/internal/taint"
+)
+
+// ProbeResult is the outcome of sending one reconstructed message.
+type ProbeResult struct {
+	Class   string // response class (RespOK, RespAccessDenied, ...)
+	Status  int    // HTTP status (0 for MQTT)
+	Body    string // response body
+	Valid   bool   // the cloud understood the message (§V-C validity)
+	Granted bool   // access was granted
+}
+
+// Prober sends reconstructed messages to a simulated cloud.
+type Prober struct {
+	HTTPAddr string
+	Cloud    *Cloud // for MQTT feedback and in-process experiments
+	Client   *http.Client
+}
+
+// NewProber targets a started cloud.
+func NewProber(c *Cloud) *Prober {
+	return &Prober{
+		HTTPAddr: c.Addr(),
+		Cloud:    c,
+		Client:   &http.Client{Timeout: 5 * time.Second},
+	}
+}
+
+// Probe sends a reconstructed message over the transport its delivery
+// function implies and classifies the response.
+func (p *Prober) Probe(msg *fields.Message) (*ProbeResult, error) {
+	if msg.Discarded {
+		return &ProbeResult{Class: RespPathNotExist}, nil
+	}
+	if msg.Format == fields.FormatMQTT {
+		return p.probeMQTT(msg)
+	}
+	return p.probeHTTP(msg)
+}
+
+func (p *Prober) probeHTTP(msg *fields.Message) (*ProbeResult, error) {
+	path, body := msg.Path, msg.Body
+	// Raw SSL/TCP messages embed the route at the front of the body; a
+	// query-style body ("?m=camera&a=login&...") is itself the route.
+	if path == "" && strings.HasPrefix(body, "?") {
+		path, body = body, ""
+	}
+	if path == "" && strings.HasPrefix(body, "/") {
+		if i := strings.IndexAny(body, "?{ \n"); i > 0 && body[i] == '?' {
+			path, body = body[:i], body[i+1:]
+		} else if i > 0 {
+			path, body = body[:i], strings.TrimLeft(body[i:], " \n")
+		} else {
+			path, body = body, ""
+		}
+	}
+	target, err := buildURL(p.HTTPAddr, path)
+	if err != nil {
+		return nil, err
+	}
+	contentType := "application/x-www-form-urlencoded"
+	reqBody := body
+	if strings.HasPrefix(strings.TrimSpace(body), "{") {
+		contentType = "application/json"
+	}
+	req, err := http.NewRequest(http.MethodPost, target, strings.NewReader(reqBody))
+	if err != nil {
+		return nil, fmt.Errorf("cloud: probe request: %w", err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := p.Client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: probe: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	res := &ProbeResult{
+		Status: resp.StatusCode,
+		Body:   strings.TrimSpace(string(raw)),
+	}
+	res.Class = classify(resp.StatusCode, res.Body)
+	res.Valid = UnderstoodResponse(res.Class)
+	res.Granted = resp.StatusCode == http.StatusOK
+	return res, nil
+}
+
+// buildURL assembles the probe URL: query-style routes ("?m=camera&a=login")
+// hang off "/", path routes keep their query suffix.
+func buildURL(addr, path string) (string, error) {
+	base := "http://" + addr
+	switch {
+	case path == "":
+		return base + "/", nil
+	case strings.HasPrefix(path, "?"):
+		return base + "/" + path, nil
+	case strings.HasPrefix(path, "/"):
+		return base + path, nil
+	default:
+		return base + "/" + path, nil
+	}
+}
+
+func classify(status int, body string) string {
+	for _, class := range []string{
+		RespOK, RespNoPermission, RespAccessDenied,
+		RespBadRequest, RespNotSupported, RespPathNotExist,
+	} {
+		if strings.HasPrefix(body, class) {
+			return class
+		}
+	}
+	switch status {
+	case http.StatusOK:
+		return RespOK
+	case http.StatusForbidden, http.StatusUnauthorized:
+		return RespAccessDenied
+	case http.StatusNotFound:
+		return RespPathNotExist
+	case http.StatusMethodNotAllowed:
+		return RespNotSupported
+	default:
+		return RespBadRequest
+	}
+}
+
+// probeMQTT connects as the device (client ID = first identifier-looking
+// field), publishes, and reads the broker's authorization decision from the
+// cloud's access log.
+func (p *Prober) probeMQTT(msg *fields.Message) (*ProbeResult, error) {
+	if p.Cloud == nil {
+		return nil, fmt.Errorf("cloud: MQTT probe needs an in-process cloud")
+	}
+	clientID := mqttClientID(msg)
+	secret := mqttPassword(msg)
+	client, err := mqtt.Dial(p.Cloud.MQTTAddr(), clientID, "", secret)
+	var refused *mqtt.ConnRefusedError
+	if errors.As(err, &refused) {
+		return &ProbeResult{Class: RespAccessDenied, Valid: true}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	before := len(p.Cloud.AccessLog())
+	if err := client.Publish(msg.Topic, []byte(msg.Body)); err != nil {
+		return nil, err
+	}
+	// Wait for the broker to process the publish.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		log := p.Cloud.AccessLog()
+		for _, a := range log[before:] {
+			if a.Endpoint == "mqtt:"+msg.Topic {
+				res := &ProbeResult{Class: a.Class, Granted: a.Granted}
+				res.Valid = UnderstoodResponse(res.Class)
+				return res, nil
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return &ProbeResult{Class: RespPathNotExist}, nil
+}
+
+// mqttClientID picks the device identifier field for the MQTT client ID.
+func mqttClientID(msg *fields.Message) string {
+	for _, f := range msg.Fields {
+		if f.Semantics == semantics.LabelDevIdentifier && f.Value != "" {
+			return f.Value
+		}
+	}
+	for _, f := range msg.Fields {
+		if f.Source == taint.LeafNVRAM && f.Value != "" {
+			return f.Value
+		}
+	}
+	return "probe-client"
+}
+
+// mqttPassword picks the Dev-Secret field, if the message carries one.
+func mqttPassword(msg *fields.Message) string {
+	for _, f := range msg.Fields {
+		if f.Semantics == semantics.LabelDevSecret {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// AttackerMessage derives the attack variant of a reconstructed message:
+// every value the threat model says an attacker cannot obtain — per-device
+// secrets, binding tokens, the victim's credentials, and signatures derived
+// from them — is replaced with an attacker-supplied value. Identifiers stay
+// (discoverable via SNMP scans, brute force, or ownership transfer), and
+// firmware-recoverable secrets stay (the hard-coded leak).
+func AttackerMessage(msg *fields.Message, img *image.Image) *fields.Message {
+	clone := *msg
+	clone.Fields = append([]fields.Field(nil), msg.Fields...)
+	replacements := map[string]string{}
+	for i := range clone.Fields {
+		f := &clone.Fields[i]
+		var substitute string
+		switch f.Semantics {
+		case semantics.LabelDevSecret:
+			if formcheck.HardcodedSource(*f, img) {
+				continue // recoverable from firmware: attacker has it
+			}
+			substitute = "ATTACKER-GUESS-SECRET"
+		case semantics.LabelBindToken:
+			if formcheck.HardcodedSource(*f, img) {
+				continue
+			}
+			substitute = "ATTACKER-GUESS-TOKEN"
+		case semantics.LabelUserCred:
+			substitute = "attacker-credential"
+		case semantics.LabelSignature:
+			substitute = strings.Repeat("a", 64)
+		default:
+			continue
+		}
+		if f.Value != "" && f.Value != substitute {
+			replacements[f.Value] = substitute
+			f.Value = substitute
+		}
+	}
+	for old, sub := range replacements {
+		clone.Body = strings.ReplaceAll(clone.Body, old, sub)
+		clone.Path = strings.ReplaceAll(clone.Path, old, sub)
+		clone.Topic = strings.ReplaceAll(clone.Topic, old, sub)
+	}
+	return &clone
+}

@@ -1,0 +1,141 @@
+// Package cloud simulates vendor clouds for the device-cloud access-control
+// experiments: an HTTP service and an MQTT broker hosting per-device
+// endpoints whose access-control policies are seeded from the corpus spec —
+// including the broken policies behind the paper's Table III
+// vulnerabilities.
+//
+// The simulator preserves the paper's observable contract: probing a
+// reconstructed message yields a response class ("Request OK", "Access
+// Denied", "Bad Request", "Path Not Exists", ...) that determines message
+// validity (§V-C), and probing with attacker-obtainable values only
+// determines exploitability (§V-D).
+package cloud
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Policy is the access-control check a cloud endpoint applies.
+type Policy uint8
+
+// Endpoint policies. The first three are broken by design (the
+// vulnerability classes of Table III); the last three are sound.
+const (
+	PolicyOpen           Policy = iota + 1 // no check at all
+	PolicyIdentifierOnly                   // Dev-Identifier match suffices
+	PolicyFixedToken                       // per-model constant token
+	PolicyBindToken                        // per-device binding token
+	PolicySignature                        // HMAC over the serial with the device secret
+	PolicyFullCred                         // identifier + secret + user credential
+	PolicyVerifyCode                       // identifier + user-held verification code
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyOpen:
+		return "open"
+	case PolicyIdentifierOnly:
+		return "identifier-only"
+	case PolicyFixedToken:
+		return "fixed-token"
+	case PolicyBindToken:
+		return "bind-token"
+	case PolicySignature:
+		return "signature"
+	case PolicyFullCred:
+		return "full-credential"
+	case PolicyVerifyCode:
+		return "verify-code"
+	default:
+		return "policy?"
+	}
+}
+
+// Broken reports whether the policy is a broken-access-control seed.
+func (p Policy) Broken() bool {
+	return p == PolicyOpen || p == PolicyIdentifierOnly || p == PolicyFixedToken
+}
+
+// Identity is the cloud's record of one device and its bound user.
+type Identity struct {
+	Model     string
+	MAC       string
+	Serial    string
+	UID       string
+	DeviceID  string
+	Secret    string // Dev-Secret
+	BindToken string // issued per device
+	Username  string // bound user
+	Password  string
+}
+
+// FixedToken derives the per-model constant token of PolicyFixedToken
+// endpoints.
+func (id Identity) FixedToken() string {
+	return "FIXED-" + id.Model
+}
+
+// Signature computes the expected request signature: HMAC-SHA256 of the
+// serial number keyed by the device secret (matching the firmware's
+// hmac_sha256(secret, serial) construction).
+func (id Identity) Signature() string {
+	mac := hmac.New(sha256.New, []byte(id.Secret))
+	mac.Write([]byte(id.Serial))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// IdentifierValues lists the attacker-obtainable identifiers (threat model
+// §III-B: device discovery, ID inference, ownership transfer).
+func (id Identity) IdentifierValues() []string {
+	var out []string
+	for _, v := range []string{id.MAC, id.Serial, id.UID, id.DeviceID} {
+		if v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Endpoint is one HTTP interface of the simulated vendor cloud.
+type Endpoint struct {
+	Name       string   // functionality description (Table III column 2)
+	Path       string   // route: "/auth/get_bind_params" or query-style "?m=camera&a=login"
+	Method     string   // required HTTP method (default POST)
+	Params     []string // required parameter names
+	Policy     Policy
+	Response   string // success body
+	Leak       string // sensitive information disclosed on success
+	Vulnerable bool   // ground truth for Table III scoring
+	Known      bool   // previously-known vulnerability
+}
+
+// TopicSpec is one MQTT topic with broker-side authorization.
+type TopicSpec struct {
+	Name       string
+	Topic      string
+	Policy     Policy
+	Vulnerable bool
+}
+
+// Spec describes one device's cloud: its identity record, HTTP endpoints,
+// and MQTT topics.
+type Spec struct {
+	DeviceID  int // corpus device ID (1-22)
+	Identity  Identity
+	Endpoints []Endpoint
+	Topics    []TopicSpec
+}
+
+// VulnerableEndpoints returns the seeded broken interfaces.
+func (s *Spec) VulnerableEndpoints() []Endpoint {
+	var out []Endpoint
+	for _, e := range s.Endpoints {
+		if e.Vulnerable {
+			out = append(out, e)
+		}
+	}
+	return out
+}

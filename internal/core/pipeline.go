@@ -1,0 +1,336 @@
+// Package core orchestrates the FIRMRES pipeline (paper Fig. 3): pinpoint
+// the device-cloud executable, identify message fields by backward taint,
+// recover field semantics over code slices, concatenate fields into
+// messages, and check message forms — with per-stage timing matching the
+// §V-E breakdown.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"firmres/internal/binfmt"
+	"firmres/internal/fields"
+	"firmres/internal/formcheck"
+	"firmres/internal/identify"
+	"firmres/internal/image"
+	"firmres/internal/mft"
+	"firmres/internal/nvram"
+	"firmres/internal/pcode"
+	"firmres/internal/semantics"
+	"firmres/internal/slices"
+	"firmres/internal/taint"
+)
+
+// Stage identifies one pipeline stage for the timing breakdown.
+type Stage int
+
+// Pipeline stages, in execution order (§V-E names).
+const (
+	StagePinpoint  Stage = iota // pinpointing device-cloud executables
+	StageFields                 // identifying message fields (taint)
+	StageSemantics              // recovering field semantics
+	StageConcat                 // concatenating message fields
+	StageFormCheck              // detecting incorrect forms
+	numStages
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StagePinpoint:
+		return "pinpoint-executables"
+	case StageFields:
+		return "identify-fields"
+	case StageSemantics:
+		return "recover-semantics"
+	case StageConcat:
+		return "concatenate-fields"
+	case StageFormCheck:
+		return "check-forms"
+	default:
+		return fmt.Sprintf("stage?%d", int(s))
+	}
+}
+
+// Timing is the per-stage wall-clock breakdown of one analysis.
+type Timing [numStages]time.Duration
+
+// Total sums the stage durations.
+func (t Timing) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t {
+		sum += d
+	}
+	return sum
+}
+
+// Share returns each stage's fraction of the total.
+func (t Timing) Share() [numStages]float64 {
+	var out [numStages]float64
+	total := t.Total()
+	if total == 0 {
+		return out
+	}
+	for i, d := range t {
+		out[i] = float64(d) / float64(total)
+	}
+	return out
+}
+
+// MessageResult bundles everything the pipeline derives for one message.
+type MessageResult struct {
+	MFT     *taint.MFT
+	Tree    *mft.Tree
+	Slices  []slices.Slice
+	Infos   []fields.SliceInfo
+	Message *fields.Message
+	Finding formcheck.Finding
+}
+
+// Flagged reports whether the form check marked the message. Discarded
+// messages (LAN filter) are never checked, hence never flagged.
+func (m *MessageResult) Flagged() bool {
+	return m.Finding.Verdict != 0 && m.Finding.Verdict.Flawed()
+}
+
+// Result is the full analysis outcome for one firmware image.
+type Result struct {
+	Device     string
+	Version    string
+	Executable string // path of the identified device-cloud executable
+	Handlers   []identify.Handler
+	Messages   []MessageResult
+	// ClusterCounts maps similarity thresholds (0.5/0.6/0.7) to the number
+	// of delimiter clusters (§IV-C); nil when the executable never uses
+	// formatted-output assembly (the "-" rows of Table II).
+	ClusterCounts map[float64]int
+	Timing        Timing
+}
+
+// FlaggedMessages returns the messages the form check marked.
+func (r *Result) FlaggedMessages() []*MessageResult {
+	var out []*MessageResult
+	for i := range r.Messages {
+		if r.Messages[i].Flagged() {
+			out = append(out, &r.Messages[i])
+		}
+	}
+	return out
+}
+
+// Options configures the pipeline.
+type Options struct {
+	Classifier semantics.Classifier // default: KeywordClassifier
+	Taint      taint.Options
+	MinScore   float64 // identification threshold (identify.WithMinScore)
+	// Thresholds for delimiter clustering; defaults to the paper's
+	// 0.5/0.6/0.7.
+	ClusterThresholds []float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Classifier == nil {
+		o.Classifier = &semantics.KeywordClassifier{}
+	}
+	if len(o.ClusterThresholds) == 0 {
+		o.ClusterThresholds = []float64{0.5, 0.6, 0.7}
+	}
+	return o
+}
+
+// Pipeline runs the FIRMRES analysis.
+type Pipeline struct {
+	opts Options
+}
+
+// New builds a pipeline.
+func New(opts Options) *Pipeline {
+	return &Pipeline{opts: opts.withDefaults()}
+}
+
+// ErrNoDeviceCloudExecutable is reported (wrapped) when no binary in the
+// image contains an asynchronous request handler — script-only devices.
+var ErrNoDeviceCloudExecutable = fmt.Errorf("no device-cloud executable identified")
+
+// AnalyzeImage runs the full pipeline over one unpacked firmware image.
+func (p *Pipeline) AnalyzeImage(img *image.Image) (*Result, error) {
+	res := &Result{Device: img.Device, Version: img.Version}
+
+	// Stage 1: pinpoint the device-cloud executable.
+	start := time.Now()
+	prog, path, handlers, err := p.pinpoint(img)
+	res.Timing[StagePinpoint] = time.Since(start)
+	if err != nil {
+		return res, err
+	}
+	res.Executable = path
+	res.Handlers = handlers
+
+	// Stage 2: identify message fields (backward taint, MFT construction).
+	start = time.Now()
+	engine := taint.NewEngine(prog, p.opts.Taint)
+	var mfts []*taint.MFT
+	for _, m := range engine.Analyze() {
+		mfts = append(mfts, mft.Split(m)...)
+	}
+	trees := make([]*mft.Tree, 0, len(mfts))
+	allSlices := make([][]slices.Slice, 0, len(mfts))
+	for _, m := range mfts {
+		tree := mft.Simplify(m)
+		trees = append(trees, tree)
+		allSlices = append(allSlices, slices.Generate(tree))
+	}
+	res.Timing[StageFields] = time.Since(start)
+
+	// Stage 3: recover field semantics.
+	start = time.Now()
+	infos := make([][]fields.SliceInfo, len(trees))
+	for i, sl := range allSlices {
+		for _, s := range sl {
+			label, conf := p.opts.Classifier.Classify(s)
+			infos[i] = append(infos[i], fields.SliceInfo{Slice: s, Label: label, Confidence: conf})
+		}
+	}
+	res.ClusterCounts = p.clusterCounts(mfts)
+	res.Timing[StageSemantics] = time.Since(start)
+
+	// Stage 4: concatenate fields into messages.
+	start = time.Now()
+	resolver := ResolverFromImage(img)
+	for i, tree := range trees {
+		msg := fields.Build(tree, infos[i], resolver)
+		res.Messages = append(res.Messages, MessageResult{
+			MFT: mfts[i], Tree: tree, Slices: allSlices[i],
+			Infos: infos[i], Message: msg,
+		})
+	}
+	res.Timing[StageConcat] = time.Since(start)
+
+	// Stage 5: check message forms.
+	start = time.Now()
+	for i := range res.Messages {
+		mr := &res.Messages[i]
+		if mr.Message.Discarded {
+			continue
+		}
+		mr.Finding = formcheck.Check(mr.Message, img)
+	}
+	res.Timing[StageFormCheck] = time.Since(start)
+	return res, nil
+}
+
+// pinpoint lifts every binary executable and returns the one with an
+// asynchronous request handler (§IV-A).
+func (p *Pipeline) pinpoint(img *image.Image) (*pcode.Program, string, []identify.Handler, error) {
+	type candidate struct {
+		prog     *pcode.Program
+		path     string
+		handlers []identify.Handler
+		score    float64
+	}
+	var best *candidate
+	for _, f := range img.Executables() {
+		if !f.IsBinary() {
+			continue // scripts are out of scope (§V-B)
+		}
+		bin, err := binfmt.Unmarshal(f.Data)
+		if err != nil {
+			continue // unparseable binaries are skipped, not fatal
+		}
+		prog, err := pcode.LiftProgram(bin)
+		if err != nil {
+			continue
+		}
+		idRes := identify.Analyze(prog, identify.WithMinScore(p.opts.MinScore))
+		if !idRes.IsDeviceCloud {
+			continue
+		}
+		score := 0.0
+		for _, h := range idRes.Handlers {
+			if h.Async && h.Score > score {
+				score = h.Score
+			}
+		}
+		c := &candidate{prog: prog, path: f.Path, handlers: idRes.Handlers, score: score}
+		if best == nil || c.score > best.score {
+			best = c
+		}
+	}
+	if best == nil {
+		return nil, "", nil, fmt.Errorf("core: %q: %w", img.Device, ErrNoDeviceCloudExecutable)
+	}
+	return best.prog, best.path, best.handlers, nil
+}
+
+// clusterCounts runs the §IV-C delimiter clustering over the executable's
+// format-string substrings at the configured thresholds.
+func (p *Pipeline) clusterCounts(mfts []*taint.MFT) map[float64]int {
+	subs := slices.FormatSubstrings(mfts)
+	usesSprintf := false
+	for _, m := range mfts {
+		if m.Root == nil {
+			continue
+		}
+		m.Root.Walk(func(n *taint.Node) {
+			if n.Format != "" {
+				usesSprintf = true
+			}
+		})
+	}
+	if !usesSprintf {
+		return nil
+	}
+	out := make(map[float64]int, len(p.opts.ClusterThresholds))
+	for _, thd := range p.opts.ClusterThresholds {
+		out[thd] = len(slices.Cluster(subs, thd))
+	}
+	return out
+}
+
+// ResolverFromImage builds the field-source resolver for message rendering:
+// NVRAM values from /etc/nvram.defaults, configuration values from every
+// other /etc key=value file, and file contents from the image tree.
+func ResolverFromImage(img *image.Image) *fields.MapResolver {
+	r := &fields.MapResolver{
+		NVRAM:  map[string]string{},
+		Config: map[string]string{},
+		Env:    map[string]string{},
+		Files:  map[string]string{},
+	}
+	for _, f := range img.ConfigFiles() {
+		store, err := nvram.Parse(f.Data)
+		if err != nil {
+			continue // non key=value configs (certificates, hosts, ...)
+		}
+		target := r.Config
+		if strings.Contains(f.Path, "nvram") {
+			target = r.NVRAM
+		}
+		for _, k := range store.Keys() {
+			v, _ := store.Get(k)
+			target[k] = v
+		}
+	}
+	for i := range img.Files {
+		f := &img.Files[i]
+		if !f.IsExec() {
+			r.Files[f.Path] = string(f.Data)
+		}
+	}
+	return r
+}
+
+// SortMessagesByFunction orders results by constructor name for
+// deterministic reporting.
+func SortMessagesByFunction(msgs []MessageResult) {
+	sort.Slice(msgs, func(i, j int) bool {
+		a, b := msgs[i].Message, msgs[j].Message
+		if a.Function != b.Function {
+			return a.Function < b.Function
+		}
+		return a.Context < b.Context
+	})
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"firmres/internal/corpus"
+	"firmres/internal/semantics"
+)
+
+func analyzeDevice(t *testing.T, id int) (*corpus.DeviceSpec, *Result) {
+	t.Helper()
+	d := corpus.Device(id)
+	img, err := corpus.BuildImage(d)
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	res, err := New(Options{}).AnalyzeImage(img)
+	if err != nil {
+		t.Fatalf("AnalyzeImage: %v", err)
+	}
+	return d, res
+}
+
+func TestPipelineEndToEndDevice17(t *testing.T) {
+	d, res := analyzeDevice(t, 17)
+	if res.Executable != "/bin/cloudd" {
+		t.Errorf("executable = %q", res.Executable)
+	}
+	if len(res.Messages) != d.TargetMessages {
+		t.Errorf("messages = %d, want %d", len(res.Messages), d.TargetMessages)
+	}
+	// Device 17 is a sprintf device: cluster counts must be present and
+	// non-decreasing with threshold.
+	if res.ClusterCounts == nil {
+		t.Fatal("cluster counts missing for sprintf device")
+	}
+	if res.ClusterCounts[0.5] > res.ClusterCounts[0.6] ||
+		res.ClusterCounts[0.6] > res.ClusterCounts[0.7] {
+		t.Errorf("cluster counts not monotone: %v", res.ClusterCounts)
+	}
+	// The four vulnerable messages (plus the duplicate callsite) must be
+	// flagged by the form check.
+	flagged := map[string]bool{}
+	for _, mr := range res.FlaggedMessages() {
+		flagged[mr.Message.Function] = true
+	}
+	for _, fn := range []string{"msg_query_services", "msg_crash_report",
+		"msg_crash_report_boot", "msg_pic_alarm"} {
+		if !flagged[fn] {
+			t.Errorf("vulnerable message %s not flagged (flagged set: %v)", fn, flagged)
+		}
+	}
+	// Standard messages carry identifier+token: they must NOT be flagged.
+	for i := range res.Messages {
+		mr := &res.Messages[i]
+		if mr.Message.Function == "msg_std_00" && mr.Flagged() {
+			t.Errorf("well-formed message flagged: %+v", mr.Finding)
+		}
+	}
+}
+
+func TestPipelineNonSprintfDeviceHasNoClusters(t *testing.T) {
+	_, res := analyzeDevice(t, 2)
+	if res.ClusterCounts != nil {
+		t.Errorf("device 2 reported cluster counts %v, want none (no sprintf)", res.ClusterCounts)
+	}
+}
+
+func TestPipelineDevice11ZeroClusters(t *testing.T) {
+	_, res := analyzeDevice(t, 11)
+	if res.ClusterCounts == nil {
+		t.Fatal("device 11 must report cluster counts (sprintf present)")
+	}
+	for thd, n := range res.ClusterCounts {
+		if n != 0 {
+			t.Errorf("device 11 threshold %v: %d clusters, want 0 (delimiter-free formats)", thd, n)
+		}
+	}
+}
+
+func TestPipelineRejectsScriptOnlyDevice(t *testing.T) {
+	d := corpus.Device(21)
+	img, err := corpus.BuildImage(d)
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	_, err = New(Options{}).AnalyzeImage(img)
+	if !errors.Is(err, ErrNoDeviceCloudExecutable) {
+		t.Errorf("err = %v, want ErrNoDeviceCloudExecutable", err)
+	}
+}
+
+func TestPipelineTimingPopulated(t *testing.T) {
+	_, res := analyzeDevice(t, 5)
+	if res.Timing.Total() <= 0 {
+		t.Error("timing not recorded")
+	}
+	shares := res.Timing.Share()
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("shares sum to %v", sum)
+	}
+}
+
+func TestPipelineFieldCountsMatchPlanted(t *testing.T) {
+	d, res := analyzeDevice(t, 5)
+	byFn := map[string]*MessageResult{}
+	for i := range res.Messages {
+		byFn[res.Messages[i].Message.Function] = &res.Messages[i]
+	}
+	for _, spec := range d.Messages {
+		if !spec.Valid {
+			continue
+		}
+		mr, ok := byFn["msg_"+spec.Name]
+		if !ok {
+			t.Errorf("planted message %q not reconstructed", spec.Name)
+			continue
+		}
+		real := 0
+		for _, f := range mr.Message.Fields {
+			if f.Source.String() != "const-numeric" {
+				real++
+			}
+		}
+		if real != spec.LeafCount() {
+			t.Errorf("%s: %d real fields, planted %d", spec.Name, real, spec.LeafCount())
+		}
+	}
+}
+
+func TestPipelineSemanticsRecoverIdentifiers(t *testing.T) {
+	_, res := analyzeDevice(t, 17)
+	var sawIdentifier bool
+	for i := range res.Messages {
+		for _, f := range res.Messages[i].Message.Fields {
+			if f.Semantics == semantics.LabelDevIdentifier && f.SourceKey == "uid" {
+				sawIdentifier = true
+			}
+		}
+	}
+	if !sawIdentifier {
+		t.Error("no uid field recovered as Dev-Identifier")
+	}
+}
+
+func TestResolverFromImage(t *testing.T) {
+	d := corpus.Device(5)
+	img, err := corpus.BuildImage(d)
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	r := ResolverFromImage(img)
+	if r.NVRAM["mac"] != d.Identity.MAC {
+		t.Errorf("NVRAM mac = %q", r.NVRAM["mac"])
+	}
+	if r.Config["bind_token"] != d.Identity.BindToken {
+		t.Errorf("Config bind_token = %q", r.Config["bind_token"])
+	}
+	if _, ok := r.Files["/etc/hosts"]; !ok {
+		t.Error("files map missing /etc/hosts")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"firmres/internal/asm"
+	"firmres/internal/image"
+	"firmres/internal/isa"
+)
+
+// TestWrapperFanOutThroughPipeline drives the mft.Split path end-to-end: a
+// delivery wrapper called from two constructors must yield two messages in
+// the pipeline result, each with its own context and fields.
+func TestWrapperFanOutThroughPipeline(t *testing.T) {
+	a := asm.New("cloudd")
+	recvBuf := a.Bytes("rx", make([]byte, 64))
+
+	// Wrapper: cloud_send(msg) → SSL_write(5, msg, 64). The payload
+	// register receives the parameter directly, which is the fork shape.
+	w := a.Func("cloud_send", 1, true)
+	w.Mov(isa.R2, isa.R1)
+	w.LI(isa.R1, 5)
+	w.LI(isa.R3, 64)
+	w.CallImport("SSL_write", 3)
+	w.Ret()
+
+	alarm := a.Func("send_alarm", 1, true)
+	alarm.LAStr(isa.R1, "/alarm?kind=motion")
+	alarm.Call("cloud_send")
+	alarm.Ret()
+
+	ping := a.Func("send_ping", 1, true)
+	ping.LAStr(isa.R1, "/ping?seq=1")
+	ping.Call("cloud_send")
+	ping.Ret()
+
+	h := a.Func("on_msg", 2, true)
+	h.Mov(isa.R8, isa.R1)
+	h.LA(isa.R2, recvBuf)
+	h.LI(isa.R3, 64)
+	h.LI(isa.R4, 0)
+	h.CallImport("recv", 4)
+	other := h.NewLabel()
+	h.LB(isa.R5, isa.R2, 0)
+	h.LI(isa.R6, 'A')
+	h.Bne(isa.R5, isa.R6, other)
+	h.Mov(isa.R1, isa.R8)
+	h.Call("send_alarm")
+	h.Bind(other)
+	h.Mov(isa.R1, isa.R8)
+	h.Call("send_ping")
+	h.LI(isa.R1, 0)
+	h.Ret()
+
+	m := a.Func("main", 0, true)
+	m.LAFunc(isa.R1, "on_msg")
+	m.LI(isa.R2, 0)
+	m.CallImport("event_register", 2)
+	m.LI(isa.R1, 0)
+	m.Ret()
+
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	img := &image.Image{Device: "wrapper-dev", Version: "1"}
+	img.AddFile("/bin/cloudd", image.ModeExec, bin.Marshal())
+
+	res, err := New(Options{}).AnalyzeImage(img)
+	if err != nil {
+		t.Fatalf("AnalyzeImage: %v", err)
+	}
+	if len(res.Messages) != 2 {
+		t.Fatalf("wrapper yielded %d messages, want 2 (one per caller)", len(res.Messages))
+	}
+	contexts := map[string]string{}
+	for i := range res.Messages {
+		msg := res.Messages[i].Message
+		contexts[msg.Context] = msg.Body
+	}
+	if body := contexts["send_alarm"]; body != "/alarm?kind=motion" {
+		t.Errorf("send_alarm body = %q", body)
+	}
+	if body := contexts["send_ping"]; body != "/ping?seq=1" {
+		t.Errorf("send_ping body = %q", body)
+	}
+}

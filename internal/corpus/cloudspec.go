@@ -1,0 +1,73 @@
+package corpus
+
+import (
+	"firmres/internal/cloud"
+)
+
+// CloudSpec derives the simulated vendor-cloud specification of a device:
+// one endpoint or topic per valid planted message, with the seeded policy.
+func CloudSpec(d *DeviceSpec) *cloud.Spec {
+	spec := &cloud.Spec{DeviceID: d.ID, Identity: d.Identity}
+	for _, m := range d.Messages {
+		if !m.Valid {
+			continue
+		}
+		if m.Transport == TransportMQTT {
+			spec.Topics = append(spec.Topics, cloud.TopicSpec{
+				Name:       m.Name,
+				Topic:      m.Path,
+				Policy:     m.Policy,
+				Vulnerable: m.Vuln,
+			})
+			continue
+		}
+		ep := cloud.Endpoint{
+			Name:       endpointName(m),
+			Path:       m.Path,
+			Params:     requiredParams(m),
+			Policy:     m.Policy,
+			Vulnerable: m.Vuln,
+			Known:      m.Known,
+			Response:   vulnResponse(d, m),
+			Leak:       m.VulnNote,
+		}
+		spec.Endpoints = append(spec.Endpoints, ep)
+	}
+	return spec
+}
+
+func endpointName(m MessageSpec) string {
+	if m.VulnName != "" {
+		return m.VulnName
+	}
+	return m.Name
+}
+
+// requiredParams lists the parameter names the cloud insists on: the
+// planted field keys, minus signature-source internals.
+func requiredParams(m MessageSpec) []string {
+	var out []string
+	for _, f := range m.Fields {
+		out = append(out, f.Key)
+	}
+	return out
+}
+
+// vulnResponse returns the success-response template: vulnerable endpoints
+// leak per-device material, reproducing the Table III consequences.
+func vulnResponse(d *DeviceSpec, m MessageSpec) string {
+	switch m.Name {
+	case "registrations":
+		return "deviceToken={fixed_token}"
+	case "rms_register":
+		return "certificate={secret}"
+	case "storage_auth":
+		return "access-key={token}&secret-key={secret}"
+	case "get_bind_params":
+		return "bind_params: uid={uid} mac={mac}"
+	case "share_list":
+		return "shareIDs: share-1,share-2"
+	default:
+		return ""
+	}
+}

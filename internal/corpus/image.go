@@ -1,0 +1,197 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"firmres/internal/asm"
+	"firmres/internal/image"
+	"firmres/internal/isa"
+	"firmres/internal/nvram"
+)
+
+// BuildImage assembles the full firmware image of a device: the
+// device-cloud executable (for binary devices), the negative executables
+// the identification stage must reject, NVRAM defaults, cloud
+// configuration, and — for script-only devices — the shell/PHP cloud agent.
+func BuildImage(d *DeviceSpec) (*image.Image, error) {
+	img := &image.Image{Device: d.Vendor + " " + d.Model, Version: d.Version}
+
+	if d.ScriptOnly {
+		img.AddFile("/usr/sbin/cloud_agent.sh", image.ModeExec, scriptAgent(d))
+		img.AddFile("/www/cloud.php", image.ModeExec, phpAgent(d))
+	} else {
+		cloudd, err := EmitDeviceCloudBinary(d)
+		if err != nil {
+			return nil, err
+		}
+		img.AddFile("/bin/cloudd", image.ModeExec, cloudd.Marshal())
+	}
+
+	for _, neg := range []struct {
+		path string
+		emit func(*DeviceSpec) (*asm.Assembler, error)
+	}{
+		{"/bin/busybox", emitBusybox},
+		{"/usr/sbin/lighttpd", emitLanServer},
+		{"/sbin/ipcd", emitIPCDaemon},
+	} {
+		a, err := neg.emit(d)
+		if err != nil {
+			return nil, err
+		}
+		bin, err := a.Link()
+		if err != nil {
+			return nil, fmt.Errorf("corpus: device %d %s: %w", d.ID, neg.path, err)
+		}
+		img.AddFile(neg.path, image.ModeExec, bin.Marshal())
+	}
+
+	img.AddFile("/etc/nvram.defaults", 0, NVRAMDefaults(d).Format())
+	img.AddFile("/etc/cloud.conf", 0, CloudConfig(d).Format())
+	img.AddFile("/etc/hosts", 0, []byte("127.0.0.1 localhost\n"))
+	return img, nil
+}
+
+// NVRAMDefaults returns the device's NVRAM block: the identifier values the
+// message constructors read with nvram_get.
+func NVRAMDefaults(d *DeviceSpec) *nvram.Store {
+	s := nvram.New()
+	s.Set("mac", d.Identity.MAC)
+	s.Set("serial_number", d.Identity.Serial)
+	s.Set("uid", d.Identity.UID)
+	s.Set("device_id", d.Identity.DeviceID)
+	s.Set("cloud_host", "cloud."+strings.ToLower(strings.ReplaceAll(d.Vendor, " ", ""))+".example.com")
+	s.Set("model", d.Model)
+	s.Set("fw_version", d.Version)
+	s.Set("lan_ipaddr", "192.168.1.1")
+	s.Set("wan_proto", "dhcp")
+	return s
+}
+
+// CloudConfig returns the /etc/cloud.conf store: the binding token and
+// device secret the constructors read with config_read.
+func CloudConfig(d *DeviceSpec) *nvram.Store {
+	s := nvram.New()
+	s.Set("bind_token", d.Identity.BindToken)
+	s.Set("device_secret", d.Identity.Secret)
+	s.Set("report_interval", "30")
+	s.Set("retry_max", "5")
+	return s
+}
+
+// scriptAgent writes the shell cloud agent of script-only devices (§V-B:
+// "handled by shell scripts and php files... FIRMRES can only deal with
+// binary executables").
+func scriptAgent(d *DeviceSpec) []byte {
+	return []byte(fmt.Sprintf(`#!/bin/sh
+# %s cloud agent
+MAC=$(nvram get mac)
+SN=$(nvram get serial_number)
+curl -s "https://cloud.example.com/register?mac=$MAC&sn=$SN"
+`, d.Model))
+}
+
+func phpAgent(d *DeviceSpec) []byte {
+	return []byte(fmt.Sprintf(`<?php
+// %s cloud sync
+$mac = shell_exec("nvram get mac");
+file_get_contents("https://cloud.example.com/sync?mac=" . urlencode($mac));
+?>`, d.Model))
+}
+
+// emitBusybox is a utility binary: string handling, no network anchors.
+func emitBusybox(d *DeviceSpec) (*asm.Assembler, error) {
+	a := asm.New("busybox")
+	cp := a.Func("applet_cp", 2, true)
+	cp.NameParam(isa.R1, "src")
+	cp.NameParam(isa.R2, "dst")
+	cp.CallImport("strcpy", 2)
+	cp.Ret()
+
+	echo := a.Func("applet_echo", 1, true)
+	echo.CallImport("printf", 1)
+	echo.Ret()
+
+	m := a.Func("main", 1, true)
+	done := m.NewLabel()
+	m.LI(isa.R2, 2)
+	m.Blt(isa.R1, isa.R2, done)
+	m.LAStr(isa.R1, "busybox v1.36")
+	m.Call("applet_echo")
+	m.Bind(done)
+	m.LI(isa.R1, 0)
+	m.Ret()
+	return a, nil
+}
+
+// emitLanServer is a LAN web server: it has recv/send request handlers but
+// they are directly invoked from main, so identification must classify it
+// synchronous and reject it (§IV-A).
+func emitLanServer(d *DeviceSpec) (*asm.Assembler, error) {
+	a := asm.New("lighttpd")
+	buf := a.Bytes("reqbuf", make([]byte, 256))
+
+	h := a.Func("serve_client", 1, true)
+	h.NameParam(isa.R1, "fd")
+	h.Mov(isa.R9, isa.R1)
+	h.LA(isa.R2, buf)
+	h.LI(isa.R3, 256)
+	h.LI(isa.R4, 0)
+	h.CallImport("recv", 4)
+	fail := h.NewLabel()
+	h.LB(isa.R5, isa.R2, 0)
+	h.LI(isa.R6, 'G')
+	h.Bne(isa.R5, isa.R6, fail)
+	h.Mov(isa.R1, isa.R9)
+	h.LAStr(isa.R2, "HTTP/1.1 200 OK\r\n\r\n<html>LAN admin</html>")
+	h.LI(isa.R3, 40)
+	h.LI(isa.R4, 0)
+	h.CallImport("send", 4)
+	h.Bind(fail)
+	h.LI(isa.R1, 0)
+	h.Ret()
+
+	m := a.Func("main", 0, true)
+	m.LI(isa.R1, 2)
+	m.LI(isa.R2, 1)
+	m.LI(isa.R3, 0)
+	m.CallImport("socket", 3)
+	m.Mov(isa.R9, isa.R1)
+	loop := m.NewLabel()
+	m.Bind(loop)
+	m.Mov(isa.R1, isa.R9)
+	m.LI(isa.R2, 0)
+	m.LI(isa.R3, 0)
+	m.CallImport("accept", 3)
+	m.Call("serve_client") // direct invocation: synchronous handler
+	m.Jmp(loop)
+	return a, nil
+}
+
+// emitIPCDaemon exchanges local IPC messages only: no network anchors.
+func emitIPCDaemon(d *DeviceSpec) (*asm.Assembler, error) {
+	a := asm.New("ipcd")
+	buf := a.Bytes("ipcbuf", make([]byte, 128))
+	h := a.Func("handle_ipc", 0, true)
+	h.LI(isa.R1, 3)
+	h.LA(isa.R2, buf)
+	h.CallImport("ipc_recv", 2)
+	done := h.NewLabel()
+	h.LB(isa.R3, isa.R2, 0)
+	h.LI(isa.R4, 'Q')
+	h.Bne(isa.R3, isa.R4, done)
+	h.LI(isa.R1, 3)
+	h.LAStr(isa.R2, "pong")
+	h.CallImport("ipc_send", 2)
+	h.Bind(done)
+	h.LI(isa.R1, 0)
+	h.Ret()
+
+	m := a.Func("main", 0, true)
+	loop := m.NewLabel()
+	m.Bind(loop)
+	m.Call("handle_ipc")
+	m.Jmp(loop)
+	return a, nil
+}

@@ -1,0 +1,397 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"firmres/internal/asm"
+	"firmres/internal/binfmt"
+	"firmres/internal/isa"
+)
+
+// Register conventions inside generated message constructors:
+//
+//	r8       saved connection handle
+//	r9..r12  sprintf value staging / JSON object (r12)
+//	r13      scratch for multi-step loads and JSON value staging
+//
+// noiseConstants are the meaningless word stores planted into message
+// buffers: the disassembly-noise false-positive channel of §V-C (the
+// paper's example constant 0x5353414d "MASS" leads the list).
+var noiseConstants = []int32{
+	0x5353414d, 0x0badc0de, 0x00031337, 0x7f81a2b3, 0x00000a0d, 0x64617461,
+}
+
+// EmitDeviceCloudBinary assembles the device-cloud executable for a device:
+// one constructor function per planted message, a request parser whose
+// predicates are dominated by request bytes, an event-registered
+// asynchronous handler dispatching to the constructors, and main.
+func EmitDeviceCloudBinary(d *DeviceSpec) (*binfmt.Binary, error) {
+	a := asm.New("cloudd")
+	sigbuf := a.Bytes("sigbuf", make([]byte, 32))
+
+	// Noise stores are planted only in valid messages: Table II counts
+	// identified fields over the cloud-validated messages.
+	noiseCapable := 0
+	for _, m := range d.Messages {
+		if m.Valid && messageHasBuffer(m) {
+			noiseCapable++
+		}
+	}
+	if noiseCapable == 0 && d.NoiseFields > 0 {
+		return nil, fmt.Errorf("corpus: device %d has %d noise fields but no buffer-based message",
+			d.ID, d.NoiseFields)
+	}
+
+	noiseLeft := d.NoiseFields
+	capableLeft := noiseCapable
+	for i, m := range d.Messages {
+		noise := 0
+		if m.Valid && messageHasBuffer(m) && noiseLeft > 0 {
+			noise = noiseLeft / capableLeft
+			if noiseLeft%capableLeft != 0 {
+				noise++
+			}
+			if noise > noiseLeft {
+				noise = noiseLeft
+			}
+			noiseLeft -= noise
+			capableLeft--
+		}
+		if err := emitMessageFn(a, d, i, m, sigbuf, noise); err != nil {
+			return nil, err
+		}
+	}
+	emitParse(a)
+	emitHandler(a, d)
+	emitMain(a, d)
+	bin, err := a.Link()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: device %d: %w", d.ID, err)
+	}
+	return bin, nil
+}
+
+// messageHasBuffer reports whether the constructor assembles into a global
+// buffer (the carrier for planted noise stores).
+func messageHasBuffer(m MessageSpec) bool {
+	return m.Style == StyleSprintf || m.Style == StyleStrcat ||
+		(m.Style == StyleJSON && m.Transport == TransportSSL)
+}
+
+// fnName returns the constructor symbol for a message.
+func fnName(m MessageSpec) string { return "msg_" + m.Name }
+
+func emitMessageFn(a *asm.Assembler, d *DeviceSpec, idx int, m MessageSpec, sigbuf uint32, noise int) error {
+	f := a.Func(fnName(m), 1, true)
+	f.NameParam(isa.R1, "conn")
+	f.Mov(isa.R8, isa.R1)
+	var buf uint32
+	if messageHasBuffer(m) {
+		buf = a.Bytes(fmt.Sprintf("buf_%s", m.Name), make([]byte, 256))
+	}
+
+	switch m.Style {
+	case StyleJSON:
+		emitJSONBody(a, f, d, m, sigbuf, buf)
+	case StyleSprintf:
+		emitSprintfBody(a, f, d, m, sigbuf, buf)
+	case StyleStrcat:
+		emitStrcatBody(a, f, d, m, sigbuf, buf)
+	default:
+		return fmt.Errorf("corpus: message %q has unknown style", m.Name)
+	}
+
+	if buf != 0 {
+		emitNoise(f, buf, idx, noise)
+	}
+	emitDeliver(a, f, m, buf)
+	f.LI(isa.R1, 0)
+	f.Ret()
+	return nil
+}
+
+// loadValue materializes one field's value in R1 (scratch: R13).
+func loadValue(a *asm.Assembler, f *asm.FuncBuilder, m MessageSpec, fs FieldSpec, sigbuf uint32) {
+	switch fs.Source {
+	case SrcNVRAM:
+		f.LAStr(isa.R1, fs.SourceKey)
+		f.CallImport("nvram_get", 1)
+	case SrcConfig:
+		f.LAStr(isa.R1, fs.SourceKey)
+		f.CallImport("config_read", 1)
+	case SrcEnv:
+		f.LAStr(isa.R1, fs.SourceKey)
+		f.CallImport("web_get_param", 1)
+	case SrcFile:
+		f.LAStr(isa.R1, fs.SourceKey)
+		f.CallImport("read_file", 1)
+	case SrcConst:
+		f.LAStr(isa.R1, fs.Value)
+	case SrcTime:
+		f.LI(isa.R1, 0)
+		f.CallImport("time", 1)
+	case SrcSignature:
+		// sign = hmac_sha256(device_secret, serial_number) into sigbuf.
+		f.LAStr(isa.R1, "device_secret")
+		f.CallImport("config_read", 1)
+		f.Mov(isa.R13, isa.R1)
+		f.LAStr(isa.R1, "serial_number")
+		f.CallImport("nvram_get", 1)
+		f.Mov(isa.R2, isa.R1)
+		f.Mov(isa.R1, isa.R13)
+		f.LA(isa.R3, sigbuf)
+		f.CallImport("hmac_sha256", 3)
+	}
+}
+
+// emitJSONBody assembles the message with cJSON and leaves the serialized
+// payload in R1 (or, for SSL transport, prefixed into buf).
+func emitJSONBody(a *asm.Assembler, f *asm.FuncBuilder, d *DeviceSpec, m MessageSpec, sigbuf, buf uint32) {
+	f.CallImport("cJSON_CreateObject", 0)
+	f.Mov(isa.R12, isa.R1)
+	f.NameVar(isa.R12, "root")
+	for _, fs := range m.Fields {
+		loadValue(a, f, m, fs, sigbuf)
+		f.Mov(isa.R13, isa.R1)
+		f.Mov(isa.R1, isa.R12)
+		f.LAStr(isa.R2, fs.Key)
+		f.Mov(isa.R3, isa.R13)
+		f.CallImport("cJSON_AddStringToObject", 3)
+	}
+	f.Mov(isa.R1, isa.R12)
+	f.CallImport("cJSON_PrintUnformatted", 1)
+	if m.Transport == TransportSSL {
+		// buf = path + json
+		f.Mov(isa.R13, isa.R1)
+		f.LA(isa.R1, buf)
+		f.LAStr(isa.R2, m.Path)
+		f.CallImport("strcpy", 2)
+		f.LA(isa.R1, buf)
+		f.Mov(isa.R2, isa.R13)
+		f.CallImport("strcat", 2)
+	}
+}
+
+// emitSprintfBody formats the message into buf in chunks of up to four
+// values per sprintf, concatenating subsequent chunks with strcat.
+func emitSprintfBody(a *asm.Assembler, f *asm.FuncBuilder, d *DeviceSpec, m MessageSpec, sigbuf, buf uint32) {
+	var buf2 uint32
+	chunks := chunkFields(m.Fields, 4)
+	for ci, chunk := range chunks {
+		format := chunkFormat(m, ci, chunk)
+		staging := []isa.Reg{isa.R9, isa.R10, isa.R11, isa.R12}
+		for j, fs := range chunk {
+			loadValue(a, f, m, fs, sigbuf)
+			f.Mov(staging[j], isa.R1)
+		}
+		dst := buf
+		if ci > 0 {
+			if buf2 == 0 {
+				buf2 = a.Bytes(fmt.Sprintf("buf2_%s", m.Name), make([]byte, 128))
+			}
+			dst = buf2
+		}
+		f.LA(isa.R1, dst)
+		f.LAStr(isa.R2, format)
+		for j := range chunk {
+			f.Mov(isa.R3+isa.Reg(j), staging[j])
+		}
+		f.CallImport("sprintf", 2+len(chunk))
+		if ci > 0 {
+			f.LA(isa.R1, buf)
+			f.LA(isa.R2, buf2)
+			f.CallImport("strcat", 2)
+		}
+	}
+}
+
+// chunkFormat builds the printf format of one sprintf chunk: the first
+// chunk carries the path for SSL transport; delimiter-free messages use
+// bare verbs.
+func chunkFormat(m MessageSpec, ci int, chunk []FieldSpec) string {
+	if m.PureVerbFormat {
+		return strings.Repeat("%s", len(chunk))
+	}
+	var b strings.Builder
+	for j, fs := range chunk {
+		switch {
+		case ci == 0 && j == 0 && m.Transport == TransportSSL:
+			b.WriteString(m.Path)
+			if strings.Contains(m.Path, "?") || strings.Contains(m.Path, "=") {
+				b.WriteString("&")
+			} else {
+				b.WriteString("?")
+			}
+		case j == 0 && ci > 0:
+			b.WriteString("&")
+		case j > 0:
+			b.WriteString("&")
+		}
+		b.WriteString(fs.Key)
+		b.WriteString("=%s")
+	}
+	return b.String()
+}
+
+func chunkFields(fields []FieldSpec, n int) [][]FieldSpec {
+	var out [][]FieldSpec
+	for len(fields) > n {
+		out = append(out, fields[:n])
+		fields = fields[n:]
+	}
+	if len(fields) > 0 {
+		out = append(out, fields)
+	}
+	return out
+}
+
+// emitStrcatBody assembles "path?k1=v1&k2=v2..." with strcpy/strcat.
+func emitStrcatBody(a *asm.Assembler, f *asm.FuncBuilder, d *DeviceSpec, m MessageSpec, sigbuf, buf uint32) {
+	prefix := ""
+	if m.Transport == TransportSSL {
+		prefix = m.Path
+		if strings.Contains(prefix, "?") {
+			prefix += "&"
+		} else {
+			prefix += "?"
+		}
+	}
+	if prefix != "" {
+		f.LA(isa.R1, buf)
+		f.LAStr(isa.R2, prefix)
+		f.CallImport("strcpy", 2)
+	}
+	for i, fs := range m.Fields {
+		seg := fs.Key + "="
+		if i > 0 {
+			seg = "&" + seg
+		}
+		f.LA(isa.R1, buf)
+		f.LAStr(isa.R2, seg)
+		if i == 0 && prefix == "" {
+			f.CallImport("strcpy", 2)
+		} else {
+			f.CallImport("strcat", 2)
+		}
+		loadValue(a, f, m, fs, sigbuf)
+		f.Mov(isa.R2, isa.R1)
+		f.LA(isa.R1, buf)
+		f.CallImport("strcat", 2)
+	}
+}
+
+// emitNoise plants raw word stores of meaningless constants into buf.
+func emitNoise(f *asm.FuncBuilder, buf uint32, msgIdx, count int) {
+	for i := 0; i < count; i++ {
+		f.LA(isa.R5, buf)
+		f.LI(isa.R6, noiseConstants[(msgIdx+i)%len(noiseConstants)])
+		f.SW(isa.R5, int32(64+4*i), isa.R6)
+	}
+}
+
+// emitDeliver sends the assembled message over the message's transport.
+func emitDeliver(a *asm.Assembler, f *asm.FuncBuilder, m MessageSpec, buf uint32) {
+	switch m.Transport {
+	case TransportSSL:
+		f.Mov(isa.R1, isa.R8)
+		f.LA(isa.R2, buf)
+		f.LI(isa.R3, 256)
+		f.CallImport("SSL_write", 3)
+	case TransportHTTP:
+		if m.Style == StyleJSON {
+			f.Mov(isa.R3, isa.R1) // serialized JSON
+		} else {
+			f.LA(isa.R3, buf)
+		}
+		f.Mov(isa.R1, isa.R8)
+		f.LAStr(isa.R2, m.Path)
+		f.CallImport("http_post", 3)
+	case TransportMQTT:
+		if m.Style == StyleJSON {
+			f.Mov(isa.R3, isa.R1)
+		} else {
+			f.LA(isa.R3, buf)
+		}
+		f.Mov(isa.R1, isa.R8)
+		f.LAStr(isa.R2, m.Path)
+		f.CallImport("mqtt_publish", 3)
+	}
+}
+
+// emitParse builds the request parser: predicates dominated by request
+// bytes (the §IV-A string-parsing signature), returning the command byte.
+func emitParse(a *asm.Assembler) {
+	f := a.Func("parse_request", 1, true)
+	f.NameParam(isa.R1, "req")
+	fail := f.NewLabel()
+	for i, want := range []int32{'C', 'M', 'D'} {
+		f.LB(isa.R2, isa.R1, int32(i))
+		f.LI(isa.R3, want)
+		f.Bne(isa.R2, isa.R3, fail)
+	}
+	f.LB(isa.R2, isa.R1, 3) // command byte
+	f.Mov(isa.R1, isa.R2)
+	f.Ret()
+	f.Bind(fail)
+	f.LI(isa.R1, -1)
+	f.Ret()
+}
+
+// emitHandler builds the asynchronous cloud-message handler: recv, parse,
+// dispatch to the message constructors.
+func emitHandler(a *asm.Assembler, d *DeviceSpec) {
+	recvBuf := a.Bytes("recvbuf", make([]byte, 512))
+	f := a.Func("on_cloud_request", 2, true)
+	f.NameParam(isa.R1, "conn")
+	f.Mov(isa.R8, isa.R1)
+	f.LA(isa.R2, recvBuf)
+	f.LI(isa.R3, 512)
+	f.LI(isa.R4, 0)
+	f.CallImport("recv", 4)
+	f.LA(isa.R1, recvBuf)
+	f.Call("parse_request")
+	f.Mov(isa.R9, isa.R1)
+	f.NameVar(isa.R9, "cmd")
+	end := f.NewLabel()
+	for i, m := range d.Messages {
+		next := f.NewLabel()
+		f.LI(isa.R10, int32(i+1))
+		f.Bne(isa.R9, isa.R10, next)
+		f.Mov(isa.R1, isa.R8)
+		f.Call(fnName(m))
+		f.Jmp(end)
+		f.Bind(next)
+	}
+	f.Bind(end)
+	f.LI(isa.R1, 0)
+	f.Ret()
+}
+
+// emitMain sets up the connection and registers the handler with the event
+// loop; the handler is never invoked directly (§IV-A asynchrony).
+func emitMain(a *asm.Assembler, d *DeviceSpec) {
+	f := a.Func("main", 0, true)
+	f.LI(isa.R1, 2)
+	f.LI(isa.R2, 1)
+	f.LI(isa.R3, 0)
+	f.CallImport("socket", 3)
+	f.Mov(isa.R9, isa.R1)
+	f.Mov(isa.R1, isa.R9)
+	f.LAStr(isa.R2, "cloud."+strings.ToLower(d.Vendor)+".example.com")
+	f.CallImport("ssl_connect", 2)
+	f.LAFunc(isa.R1, "on_cloud_request")
+	f.LI(isa.R2, 0)
+	f.CallImport("event_register", 2)
+	loop := f.NewLabel()
+	f.Bind(loop)
+	f.LI(isa.R1, 0)
+	f.LI(isa.R2, 0)
+	f.LI(isa.R3, 16)
+	f.LI(isa.R4, 1000)
+	f.CallImport("epoll_wait", 4)
+	f.LI(isa.R5, 0)
+	f.Bge(isa.R1, isa.R5, loop)
+	f.LI(isa.R1, 0)
+	f.Ret()
+}

@@ -1,0 +1,153 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"firmres/internal/semantics"
+	"firmres/internal/slices"
+	"firmres/internal/taint"
+)
+
+// TruthLabel returns the ground-truth semantics label for one code slice of
+// a generated device, and whether the slice's leaf is a planted field at
+// all (false for the numeric-store noise).
+//
+// Labeling rules mirror how the fields were planted:
+//   - a path through hmac_sha256 is part of the Signature construction;
+//   - source leaves (NVRAM/config/env/file) are matched by source key;
+//   - constant leaves are matched by planted value, with structural
+//     constants (formats, key segments, paths, topics) labelled None;
+//   - dynamic leaves (time/rand) are metadata → None;
+//   - numeric leaves are disassembly noise → not planted.
+func TruthLabel(d *DeviceSpec, s slices.Slice) (string, bool) {
+	label, planted, _ := TruthLabelDetail(d, s)
+	return label, planted
+}
+
+// TruthLabelDetail additionally reports whether the slice's leaf is a
+// value-bearing field (a planted FieldSpec's data) as opposed to a
+// structural constant (format string, key segment, path, or topic). The
+// semantics-recovery accuracy of Table II is scored over value fields: in
+// the paper, formatted messages are separated into per-field slices before
+// classification, so delimiters are context, not classified units.
+func TruthLabelDetail(d *DeviceSpec, s slices.Slice) (label string, planted, isValue bool) {
+	if s.Leaf == nil {
+		return semantics.LabelNone, false, false
+	}
+	leaf := s.Leaf.Orig
+	if leaf.Kind == taint.LeafNumeric {
+		return semantics.LabelNone, false, false // planted noise store
+	}
+	// Signature components: the slice's MFT path passes through the HMAC.
+	for _, st := range s.Steps {
+		if st.OpIdx >= 0 && st.OpIdx < len(st.Fn.Ops) {
+			op := &st.Fn.Ops[st.OpIdx]
+			if op.Call != nil && op.Call.Name == "hmac_sha256" {
+				return semantics.LabelSignature, true, true
+			}
+		}
+	}
+	switch leaf.Kind {
+	case taint.LeafNVRAM, taint.LeafConfig, taint.LeafEnv, taint.LeafFile:
+		if label, ok := d.fieldBySourceKey(leaf.Key); ok {
+			return label, true, true
+		}
+		// Source read the generator did not plant as a field (should not
+		// happen; conservative None).
+		return semantics.LabelNone, true, true
+	case taint.LeafDynamic:
+		return semantics.LabelNone, true, true
+	case taint.LeafString:
+		if label, ok := d.fieldByConstValue(leaf.StrVal); ok {
+			return label, true, true
+		}
+		// Structural constant: format string, key segment, path, topic.
+		return semantics.LabelNone, true, false
+	default:
+		return semantics.LabelNone, false, false
+	}
+}
+
+func (d *DeviceSpec) fieldBySourceKey(key string) (string, bool) {
+	for _, m := range d.Messages {
+		for _, f := range m.Fields {
+			if f.SourceKey == key && f.Source != SrcConst {
+				return f.Primitive, true
+			}
+		}
+	}
+	// The signature construction reads device_secret/serial_number even
+	// when no plain secret field exists.
+	switch key {
+	case "device_secret":
+		return semantics.LabelDevSecret, true
+	case "serial_number", "mac", "uid", "device_id":
+		return semantics.LabelDevIdentifier, true
+	case "cloud_host":
+		return semantics.LabelAddress, true
+	case "bind_token":
+		return semantics.LabelBindToken, true
+	}
+	return "", false
+}
+
+func (d *DeviceSpec) fieldByConstValue(value string) (string, bool) {
+	for _, m := range d.Messages {
+		for _, f := range m.Fields {
+			if f.Source == SrcConst && f.Value == value {
+				return f.Primitive, true
+			}
+		}
+	}
+	return "", false
+}
+
+// TrainingDevice synthesizes a device outside the evaluation corpus (IDs
+// from 100 upward) for building the classifier's training set — the stand-in
+// for the paper's 147k-image crawl. Message/field mixes vary by seed;
+// no Table III vulnerability seeding.
+func TrainingDevice(id int) *DeviceSpec {
+	if id < 100 {
+		id += 100
+	}
+	rng := rand.New(rand.NewSource(int64(id) * 104729))
+	d := &DeviceSpec{
+		ID:          id,
+		Vendor:      "TrainVendor" + strconv.Itoa(id%13),
+		Model:       fmt.Sprintf("TM-%03d", id),
+		Type:        []string{"Smart Camera", "Wi-Fi Router", "Smart Plug", "NAS"}[id%4],
+		Version:     fmt.Sprintf("v1.%d.%d", id%7, id%11),
+		Seed:        int64(id) * 6151,
+		Identity:    identityFor(id, fmt.Sprintf("TM-%03d", id)),
+		UsesSprintf: id%2 == 0,
+	}
+	d.TargetMessages = 6 + rng.Intn(8)
+	d.TargetValid = d.TargetMessages
+	d.TargetConfirmed = d.TargetMessages * (6 + rng.Intn(5))
+	d.NoiseFields = 2 + rng.Intn(6)
+	synthesizeMessages(d)
+	// Sprinkle signature and credential fields so every class is
+	// represented in training data.
+	for i := range d.Messages {
+		switch i % 4 {
+		case 1:
+			d.Messages[i].Fields = append(d.Messages[i].Fields, signField())
+		case 2:
+			d.Messages[i].Fields = append(d.Messages[i].Fields,
+				credField("password", "password"), secretField())
+		case 3:
+			d.Messages[i].Fields = append(d.Messages[i].Fields,
+				credField("username", "username"))
+		}
+	}
+	return d
+}
+
+// Resynthesize regenerates a device's message list after its calibration
+// targets were adjusted (used by scaling benchmarks).
+func Resynthesize(d *DeviceSpec) {
+	d.Messages = nil
+	synthesizeMessages(d)
+}

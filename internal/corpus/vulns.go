@@ -1,0 +1,268 @@
+package corpus
+
+import (
+	"fmt"
+
+	"firmres/internal/cloud"
+	"firmres/internal/semantics"
+)
+
+// vulnMessages plants the Table III vulnerability seeds. 15 messages hit 14
+// distinct broken interfaces across 8 devices (device 17's crash-report
+// endpoint is reached from two firmware callsites): 13 previously-unknown
+// interfaces plus device 11's known CVE-2023-2586-style registration.
+func vulnMessages(d *DeviceSpec) []MessageSpec {
+	switch d.ID {
+	case 2:
+		return []MessageSpec{{
+			Name: "share_list", Style: StyleJSON, Transport: TransportHTTP,
+			Path:   "/share/getShareIDList",
+			Fields: []FieldSpec{idField("deviceID", "device_id")},
+			Valid:  true, Policy: cloud.PolicyIdentifierOnly,
+			Flawed: true, Vuln: true,
+			VulnName: "Acquiring the shareID list of the device",
+			VulnNote: "ShareID list can be used to obtain the shared information about the device.",
+		}}
+	case 3:
+		return []MessageSpec{{
+			Name: "bind_device", Style: StyleJSON, Transport: TransportHTTP,
+			Path: "/cloud/bindDevice",
+			Fields: []FieldSpec{
+				idField("deviceID", "device_id"),
+				credField("cloudusername", "cloudusername"),
+				credField("cloudpassword", "cloudpassword"),
+			},
+			Valid: true, Policy: cloud.PolicyIdentifierOnly,
+			Flawed: true, Vuln: true,
+			VulnName: "Binding the device to the cloud user",
+			VulnNote: "Attackers can bind the device to their accounts by sending a fake binding request.",
+		}}
+	case 5:
+		return []MessageSpec{
+			{
+				Name: "registrations", Style: StyleJSON, Transport: TransportHTTP,
+				Path: "/device/registrations",
+				Fields: []FieldSpec{
+					idField("serialNumber", "serial_number"),
+					idField("macAddress", "mac"),
+					constField("modelNumber", d.Model),
+					idField("uuid", "uid"),
+					constField("hardwareVersion", "rev2"),
+					constField("firmwareVersion", d.Version),
+					constField("manufacturingDate", "2023-04-01"),
+				},
+				Valid: true, Policy: cloud.PolicyIdentifierOnly,
+				Flawed: true, Vuln: true,
+				VulnName: "Registering device to the cloud",
+				VulnNote: "It returns a fixed device token, which can be used to upload tampered system information and crash logs to the cloud.",
+			},
+			{
+				Name: "upload_logs", Style: StyleJSON, Transport: TransportHTTP,
+				Path: "/device/upload",
+				Fields: []FieldSpec{
+					constField("uploadSubType", "crash"),
+					constField("firmwareVersion", d.Version),
+					idField("serialNo", "serial_number"),
+					idField("macAddress", "mac"),
+					constField("hardwareVersion", "rev2"),
+					constField("uploadType", "syslog"),
+					{Key: "deviceToken", Primitive: semantics.LabelNone,
+						Source: SrcConst, Value: d.Identity.FixedToken()},
+				},
+				Valid: true, Policy: cloud.PolicyFixedToken,
+				Flawed: true, Vuln: true,
+				VulnName: "Uploading crash logs",
+				VulnNote: "Attackers upload fake crash logs to trick users.",
+			},
+		}
+	case 11:
+		return []MessageSpec{{
+			Name: "rms_register", Style: StyleJSON, Transport: TransportSSL,
+			Path: "/rms/register",
+			Fields: []FieldSpec{
+				idField("sn", "serial_number"),
+				idField("mac", "mac"),
+			},
+			Valid: true, Policy: cloud.PolicyIdentifierOnly,
+			Flawed: true, Vuln: true, Known: true,
+			VulnName: "Registering to the RMS cloud (running example, CVE-2023-2586)",
+			VulnNote: "The cloud returns the device certificate for a serial number and MAC address alone.",
+		}}
+	case 17:
+		crash := MessageSpec{
+			Name: "crash_report", Style: StyleSprintf, Transport: TransportSSL,
+			Path: "?m=camera&a=crash_report",
+			Fields: []FieldSpec{
+				idField("uid", "uid"),
+				constField("version", d.Version),
+			},
+			Valid: true, Policy: cloud.PolicyIdentifierOnly,
+			Flawed: true, Vuln: true,
+			VulnName: "Uploading crash logs",
+			VulnNote: "After a successful upload, the device crashes and loses its connection.",
+		}
+		crashBoot := crash
+		crashBoot.Name = "crash_report_boot" // second callsite, same interface
+		return []MessageSpec{
+			{
+				Name: "query_services", Style: StyleSprintf, Transport: TransportSSL,
+				Path:   "?m=cloud&a=queryServices",
+				Fields: []FieldSpec{idField("uid", "uid")},
+				Valid:  true, Policy: cloud.PolicyIdentifierOnly,
+				Flawed: true, Vuln: true,
+				VulnName: "Checking the availability of the cloud storage service",
+				VulnNote: "Privacy information leakage.",
+			},
+			crash,
+			crashBoot,
+			{
+				Name: "pic_alarm", Style: StyleSprintf, Transport: TransportSSL,
+				Path: "?m=camera_alarm&a=camera_pic_alarm",
+				Fields: []FieldSpec{
+					idField("uid", "uid"),
+					timeField("alarm_time"),
+					constField("lang", "en"),
+					constField("img", "base64img"),
+				},
+				Valid: true, Policy: cloud.PolicyIdentifierOnly,
+				Flawed: true, Vuln: true,
+				VulnName: "Pushing monitor alert",
+				VulnNote: "Attackers push false alerts to victim users.",
+			},
+		}
+	case 18:
+		return []MessageSpec{
+			{
+				Name: "get_bind_params", Style: StyleSprintf, Transport: TransportHTTP,
+				Path: "/auth/get_bind_params",
+				Fields: []FieldSpec{
+					idField("userid", "uid"),
+					idField("mac", "mac"),
+					constField("sdkver", "3.1"),
+				},
+				Valid: true, Policy: cloud.PolicyIdentifierOnly,
+				Flawed: true, Vuln: true,
+				VulnName: "Obtaining binding information",
+				VulnNote: "Privacy information leakage.",
+			},
+			{
+				Name: "save_video_report", Style: StyleSprintf, Transport: TransportHTTP,
+				Path: "/app/device/save_video/report",
+				Fields: []FieldSpec{
+					timeField("start_time"),
+					constField("code", "200"),
+					idField("userid", "uid"),
+					idField("mac", "mac"),
+					constField("sdkver", "3.1"),
+				},
+				Valid: true, Policy: cloud.PolicyIdentifierOnly,
+				Flawed: true, Vuln: true,
+				VulnName: "Retrieving stored video records",
+				VulnNote: "Privacy information leakage.",
+			},
+		}
+	case 19:
+		return []MessageSpec{{
+			Name: "change_vuid", Style: StyleSprintf, Transport: TransportHTTP,
+			Path: "/change",
+			Fields: []FieldSpec{
+				idField("vuid", "uid"),
+				constField("code", "7"),
+				constField("cluster", "cn-3"),
+			},
+			Valid: true, Policy: cloud.PolicyIdentifierOnly,
+			Flawed: true, Vuln: true,
+			VulnName: "Changing the device ID",
+			VulnNote: "Information tampering.",
+		}}
+	case 20:
+		return []MessageSpec{
+			{
+				Name: "storage_status", Style: StyleSprintf, Transport: TransportHTTP,
+				Path: "/store-server/api/v1/storages/status",
+				Fields: []FieldSpec{
+					idField("deviceId", "device_id"),
+					constField("channel", "0"),
+				},
+				Valid: true, Policy: cloud.PolicyIdentifierOnly,
+				Flawed: true, Vuln: true,
+				VulnName: "Querying the cloud storage services of the device",
+				VulnNote: "Privacy information leakage.",
+			},
+			{
+				Name: "storage_auth", Style: StyleSprintf, Transport: TransportHTTP,
+				Path:   "/store-server/api/v1/storages/auth",
+				Fields: []FieldSpec{idField("deviceId", "device_id")},
+				Valid:  true, Policy: cloud.PolicyIdentifierOnly,
+				Flawed: true, Vuln: true,
+				VulnName: "Authenticating the device to the cloud storage server",
+				VulnNote: "The cloud returns access-key and secret-key used to upload videos to the cloud.",
+			},
+			{
+				Name: "storage_files", Style: StyleSprintf, Transport: TransportHTTP,
+				Path: "/store-server/api/v1/storages/files",
+				Fields: []FieldSpec{
+					idField("deviceId", "device_id"),
+					constField("channel", "0"),
+					constField("stream", "main"),
+					constField("type", "mp4"),
+					constField("date", "2024-01-01"),
+					timeField("begin"),
+					timeField("end"),
+				},
+				Valid: true, Policy: cloud.PolicyIdentifierOnly,
+				Flawed: true, Vuln: true,
+				VulnName: "Querying the videos stored on the cloud",
+				VulnNote: "The cloud returns video information and download paths for the queried time period.",
+			},
+		}
+	default:
+		return nil
+	}
+}
+
+// fpMessages plants the form-check false-positive bait of §V-D: messages
+// FIRMRES flags as missing primitives that manual verification rejects.
+// Two modes: a vendor-custom verification code acting as User-Cred (rare
+// vocabulary the classifier cannot recover), and event notifications whose
+// vendor-specific fields need no primitives.
+func fpMessages(d *DeviceSpec) []MessageSpec {
+	style := StyleJSON
+	if d.UsesSprintf {
+		style = StyleSprintf
+	}
+	switch d.ID {
+	case 1, 4, 6, 7, 9, 12: // vercode-style FPs
+		return []MessageSpec{{
+			Name: "user_command", Style: style, Transport: TransportHTTP,
+			Path: fmt.Sprintf("/cmd/%s/exec", d.Vendor),
+			Fields: []FieldSpec{
+				idField("deviceId", "device_id"),
+				{Key: "vercode", Primitive: semantics.LabelUserCred,
+					Source: SrcEnv, SourceKey: "vercode"},
+				constField("action", "reboot"),
+			},
+			Valid: true, Policy: cloud.PolicyVerifyCode,
+			Flawed: true, Vuln: false,
+			VulnNote: "FP: vendor-custom verification code is the User-Cred.",
+		}}
+	case 2, 8, 10, 13, 14: // event-style FPs
+		return append(vulnTail(d), MessageSpec{
+			Name: "event_push", Style: style, Transport: TransportMQTT,
+			Path: "/events/" + d.Identity.DeviceID,
+			Fields: []FieldSpec{
+				constField("eventType", "motion"),
+				constField("pluginId", "p-100"),
+				timeField("ts"),
+			},
+			Valid: true, Policy: cloud.PolicyOpen,
+			Flawed: true, Vuln: false,
+			VulnNote: "FP: event-only fields; no primitives required.",
+		})
+	default:
+		return nil
+	}
+}
+
+// vulnTail exists to keep fpMessages a single expression per device class.
+func vulnTail(*DeviceSpec) []MessageSpec { return nil }

@@ -1,0 +1,263 @@
+// Package dataflow implements intra-procedural reaching-definitions
+// analysis and def-use queries over lifted P-Code, the machinery underneath
+// the backward taint engine of §IV-B.
+//
+// Definitions are P-Code ops with an output varnode. Storage locations are
+// keyed by (space, offset); in addition, stack slots addressed as
+// INT_ADD(SP, const) through LOAD/STORE are resolved to synthetic RAM-space
+// keys so that register spills do not break backward traces. Unresolvable
+// memory stays conservative, matching the paper's over-taint strategy.
+package dataflow
+
+import (
+	"firmres/internal/cfg"
+	"firmres/internal/isa"
+	"firmres/internal/pcode"
+)
+
+// locKey identifies a storage location for dataflow purposes.
+type locKey struct {
+	space  pcode.Space
+	offset uint64
+}
+
+func keyOf(v pcode.Varnode) locKey { return locKey{space: v.Space, offset: v.Offset} }
+
+// DefUse holds the reaching-definitions solution of one function.
+type DefUse struct {
+	Fn  *pcode.Function
+	G   *cfg.Graph
+	in  []bitset // per-block IN sets over def indices
+	out []bitset
+
+	defOps  []int                 // def index -> op index
+	defLoc  []locKey              // def index -> defined location
+	defsAt  map[int]int           // op index -> def index (for ops that define)
+	locDefs map[locKey][]int      // location -> def indices
+	slotOf  map[int]pcode.Varnode // op index (LOAD/STORE) -> resolved slot varnode
+}
+
+// New computes the reaching-definitions solution for fn over its CFG.
+func New(fn *pcode.Function, g *cfg.Graph) *DefUse {
+	du := &DefUse{
+		Fn:      fn,
+		G:       g,
+		defsAt:  make(map[int]int),
+		locDefs: make(map[locKey][]int),
+		slotOf:  make(map[int]pcode.Varnode),
+	}
+	du.collectDefs()
+	du.solve()
+	return du
+}
+
+// SlotVarnode returns the synthetic varnode for stack slot at SP+off.
+func SlotVarnode(off uint32) pcode.Varnode {
+	return pcode.Varnode{Space: pcode.SpaceRAM, Offset: uint64(off), Size: 4}
+}
+
+// collectDefs numbers every definition. STOREs to resolvable stack slots
+// define the slot's synthetic location.
+func (du *DefUse) collectDefs() {
+	ops := du.Fn.Ops
+	for i := range ops {
+		op := &ops[i]
+		switch {
+		case op.HasOut:
+			du.addDef(i, keyOf(op.Output))
+			if op.Code == pcode.LOAD {
+				if slot, ok := du.resolveSlot(i); ok {
+					du.slotOf[i] = slot
+				}
+			}
+		case op.Code == pcode.STORE:
+			if slot, ok := du.resolveSlot(i); ok {
+				du.slotOf[i] = slot
+				du.addDef(i, keyOf(slot))
+			}
+		}
+	}
+}
+
+func (du *DefUse) addDef(opIdx int, loc locKey) {
+	idx := len(du.defOps)
+	du.defOps = append(du.defOps, opIdx)
+	du.defLoc = append(du.defLoc, loc)
+	du.defsAt[opIdx] = idx
+	du.locDefs[loc] = append(du.locDefs[loc], idx)
+}
+
+// resolveSlot pattern-matches the effective-address computation of a
+// LOAD/STORE at opIdx: the address unique must be defined by the preceding
+// INT_ADD(SP, const) the lifter emitted for the same instruction.
+func (du *DefUse) resolveSlot(opIdx int) (pcode.Varnode, bool) {
+	op := &du.Fn.Ops[opIdx]
+	if len(op.Inputs) == 0 || op.Inputs[0].Space != pcode.SpaceUnique {
+		return pcode.Varnode{}, false
+	}
+	if opIdx == 0 {
+		return pcode.Varnode{}, false
+	}
+	ea := &du.Fn.Ops[opIdx-1]
+	if !ea.HasOut || ea.Output != op.Inputs[0] || ea.Code != pcode.INT_ADD {
+		return pcode.Varnode{}, false
+	}
+	base, ok := ea.Inputs[0].Reg()
+	if !ok || base != isa.SP || !ea.Inputs[1].IsConst() {
+		return pcode.Varnode{}, false
+	}
+	return SlotVarnode(uint32(ea.Inputs[1].Offset)), true
+}
+
+// Slot returns the resolved stack-slot varnode of a LOAD/STORE op, if any.
+func (du *DefUse) Slot(opIdx int) (pcode.Varnode, bool) {
+	v, ok := du.slotOf[opIdx]
+	return v, ok
+}
+
+// solve runs the classic iterative reaching-definitions fixpoint.
+func (du *DefUse) solve() {
+	nblocks := len(du.G.Blocks)
+	ndefs := len(du.defOps)
+	du.in = make([]bitset, nblocks)
+	du.out = make([]bitset, nblocks)
+	gen := make([]bitset, nblocks)
+	kill := make([]bitset, nblocks)
+	for b := 0; b < nblocks; b++ {
+		du.in[b] = newBitset(ndefs)
+		du.out[b] = newBitset(ndefs)
+		gen[b] = newBitset(ndefs)
+		kill[b] = newBitset(ndefs)
+		blk := du.G.Blocks[b]
+		for i := blk.Start; i < blk.End; i++ {
+			di, defines := du.defsAt[i]
+			if !defines {
+				continue
+			}
+			loc := du.defLoc[di]
+			// This def kills all other defs of the same location.
+			for _, other := range du.locDefs[loc] {
+				if other != di {
+					gen[b].clear(other)
+					kill[b].set(other)
+				}
+			}
+			gen[b].set(di)
+			kill[b].clear(di)
+		}
+	}
+
+	order := du.G.ReversePostOrder()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			blk := du.G.Blocks[b]
+			in := newBitset(ndefs)
+			for _, p := range blk.Preds {
+				in.union(du.out[p])
+			}
+			out := in.clone()
+			out.subtract(kill[b])
+			out.union(gen[b])
+			if !in.equal(du.in[b]) || !out.equal(du.out[b]) {
+				du.in[b] = in
+				du.out[b] = out
+				changed = true
+			}
+		}
+	}
+}
+
+// ReachingDefs returns the op indices of the definitions of location v that
+// reach the program point just before opIdx.
+func (du *DefUse) ReachingDefs(opIdx int, v pcode.Varnode) []int {
+	loc := keyOf(v)
+	candidates := du.locDefs[loc]
+	if len(candidates) == 0 {
+		return nil
+	}
+	blk := du.G.BlockOf(opIdx)
+	if blk == nil {
+		return nil
+	}
+	// Walk the block from its start to opIdx, tracking the last local def.
+	lastLocal := -1
+	for i := blk.Start; i < opIdx; i++ {
+		if di, ok := du.defsAt[i]; ok && du.defLoc[di] == loc {
+			lastLocal = di
+		}
+	}
+	if lastLocal >= 0 {
+		return []int{du.defOps[lastLocal]}
+	}
+	// Otherwise every def of loc in the block's IN set reaches.
+	var out []int
+	for _, di := range candidates {
+		if du.in[blk.ID].has(di) {
+			out = append(out, du.defOps[di])
+		}
+	}
+	return out
+}
+
+// DefSites returns the op indices of all definitions of location v anywhere
+// in the function.
+func (du *DefUse) DefSites(v pcode.Varnode) []int {
+	var out []int
+	for _, di := range du.locDefs[keyOf(v)] {
+		out = append(out, du.defOps[di])
+	}
+	return out
+}
+
+// IsParamLive reports whether location v used at opIdx may still hold the
+// function's incoming value (i.e. no definition of v reaches opIdx). This is
+// how the taint engine decides to escalate to the callers (§IV-B: "if the
+// taint source is a parameter of its caller, all possible callsites of the
+// caller would be analyzed").
+func (du *DefUse) IsParamLive(opIdx int, v pcode.Varnode) bool {
+	if len(du.ReachingDefs(opIdx, v)) > 0 {
+		return false
+	}
+	// Entry value reaches opIdx only if the block is reachable from entry.
+	blk := du.G.BlockOf(opIdx)
+	return blk != nil && du.G.EntryReaches(blk.ID)
+}
+
+// bitset is a fixed-capacity bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)   { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool {
+	return b[i/64]&(1<<(i%64)) != 0
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) union(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+func (b bitset) subtract(o bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package dataflow
+
+import (
+	"testing"
+
+	"firmres/internal/asm"
+	"firmres/internal/cfg"
+	"firmres/internal/isa"
+	"firmres/internal/pcode"
+)
+
+func lift(t *testing.T, build func(*asm.FuncBuilder)) (*pcode.Function, *DefUse) {
+	t.Helper()
+	a := asm.New("t")
+	f := a.Func("f", 2, true)
+	build(f)
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	fn, err := pcode.Lift(bin, bin.Funcs[0])
+	if err != nil {
+		t.Fatalf("Lift: %v", err)
+	}
+	return fn, New(fn, cfg.Build(fn))
+}
+
+// opAt returns the index of the n-th op with the given code.
+func opAt(fn *pcode.Function, code pcode.OpCode, n int) int {
+	seen := 0
+	for i := range fn.Ops {
+		if fn.Ops[i].Code == code {
+			if seen == n {
+				return i
+			}
+			seen++
+		}
+	}
+	return -1
+}
+
+func TestStraightLineReachingDef(t *testing.T) {
+	fn, du := lift(t, func(f *asm.FuncBuilder) {
+		f.LI(isa.R3, 7)       // op0: def r3
+		f.Mov(isa.R4, isa.R3) // op1: use r3
+		f.LI(isa.R3, 9)       // op2: redef r3
+		f.Mov(isa.R5, isa.R3) // op3: use r3
+		f.Ret()
+	})
+	r3 := pcode.Register(isa.R3)
+	if defs := du.ReachingDefs(1, r3); len(defs) != 1 || defs[0] != 0 {
+		t.Errorf("defs of r3 at op1 = %v, want [0]", defs)
+	}
+	if defs := du.ReachingDefs(3, r3); len(defs) != 1 || defs[0] != 2 {
+		t.Errorf("defs of r3 at op3 = %v, want [2]", defs)
+	}
+	if got := du.DefSites(r3); len(got) != 2 {
+		t.Errorf("DefSites(r3) = %v", got)
+	}
+	_ = fn
+}
+
+func TestDiamondMerge(t *testing.T) {
+	fn, du := lift(t, func(f *asm.FuncBuilder) {
+		elseL := f.NewLabel()
+		endL := f.NewLabel()
+		f.Beq(isa.R1, isa.R2, elseL)
+		f.LI(isa.R3, 1) // def A
+		f.Jmp(endL)
+		f.Bind(elseL)
+		f.LI(isa.R3, 2) // def B
+		f.Bind(endL)
+		f.Mov(isa.R4, isa.R3) // both defs reach
+		f.Ret()
+	})
+	use := opAt(fn, pcode.COPY, 2) // the Mov after the join
+	defs := du.ReachingDefs(use, pcode.Register(isa.R3))
+	if len(defs) != 2 {
+		t.Fatalf("defs at join = %v, want two", defs)
+	}
+}
+
+func TestKillInOneArm(t *testing.T) {
+	fn, du := lift(t, func(f *asm.FuncBuilder) {
+		elseL := f.NewLabel()
+		endL := f.NewLabel()
+		f.LI(isa.R3, 1) // def A dominates
+		f.Beq(isa.R1, isa.R2, elseL)
+		f.LI(isa.R3, 2) // def B kills A on this path
+		f.Jmp(endL)
+		f.Bind(elseL)
+		f.Nop()
+		f.Bind(endL)
+		f.Mov(isa.R4, isa.R3)
+		f.Ret()
+	})
+	use := opAt(fn, pcode.COPY, 2)
+	defs := du.ReachingDefs(use, pcode.Register(isa.R3))
+	if len(defs) != 2 {
+		t.Fatalf("defs at merge = %v, want A and B", defs)
+	}
+}
+
+func TestLoopCarriedDef(t *testing.T) {
+	fn, du := lift(t, func(f *asm.FuncBuilder) {
+		f.LI(isa.R3, 0)
+		top := f.NewLabel()
+		done := f.NewLabel()
+		f.Bind(top)
+		f.Bge(isa.R3, isa.R1, done)
+		f.AddI(isa.R3, isa.R3, 1) // redefines r3 inside loop
+		f.Jmp(top)
+		f.Bind(done)
+		f.Mov(isa.R1, isa.R3)
+		f.Ret()
+	})
+	// At the loop-header compare, both the init and the increment reach.
+	cmp := opAt(fn, pcode.INT_SLESS, 0)
+	defs := du.ReachingDefs(cmp, pcode.Register(isa.R3))
+	if len(defs) != 2 {
+		t.Fatalf("defs at loop header = %v, want init+increment", defs)
+	}
+}
+
+func TestStackSlotSpillReload(t *testing.T) {
+	fn, du := lift(t, func(f *asm.FuncBuilder) {
+		f.LI(isa.R3, 42)
+		f.SW(isa.SP, -8, isa.R3) // spill
+		f.LI(isa.R3, 0)          // clobber
+		f.LW(isa.R4, isa.SP, -8) // reload
+		f.Ret()
+	})
+	store := opAt(fn, pcode.STORE, 0)
+	load := opAt(fn, pcode.LOAD, 0)
+	slotS, okS := du.Slot(store)
+	slotL, okL := du.Slot(load)
+	if !okS || !okL {
+		t.Fatal("stack slots not resolved")
+	}
+	if slotS != slotL {
+		t.Fatalf("spill and reload slots differ: %v vs %v", slotS, slotL)
+	}
+	defs := du.ReachingDefs(load, slotL)
+	if len(defs) != 1 || defs[0] != store {
+		t.Errorf("slot defs at reload = %v, want [%d]", defs, store)
+	}
+}
+
+func TestUnresolvableSlot(t *testing.T) {
+	fn, du := lift(t, func(f *asm.FuncBuilder) {
+		f.LW(isa.R3, isa.R1, 0) // base is a parameter, not SP
+		f.Ret()
+	})
+	load := opAt(fn, pcode.LOAD, 0)
+	if _, ok := du.Slot(load); ok {
+		t.Error("non-SP-based load resolved to a slot")
+	}
+}
+
+func TestIsParamLive(t *testing.T) {
+	fn, du := lift(t, func(f *asm.FuncBuilder) {
+		f.Mov(isa.R3, isa.R1) // op0: r1 still holds the parameter
+		f.LI(isa.R1, 5)       // op1: r1 clobbered
+		f.Mov(isa.R4, isa.R1) // op2: r1 is no longer the parameter
+		f.Ret()
+	})
+	r1 := pcode.Register(isa.R1)
+	if !du.IsParamLive(0, r1) {
+		t.Error("param not live at op0")
+	}
+	if du.IsParamLive(2, r1) {
+		t.Error("param live after clobber")
+	}
+	_ = fn
+}
+
+func TestCallOutputIsADef(t *testing.T) {
+	fn, du := lift(t, func(f *asm.FuncBuilder) {
+		f.CallImport("nvram_get", 1) // defines r1
+		f.Mov(isa.R3, isa.R1)
+		f.Ret()
+	})
+	call := opAt(fn, pcode.CALL, 0)
+	defs := du.ReachingDefs(call+1, pcode.Register(isa.R1))
+	if len(defs) != 1 || defs[0] != call {
+		t.Errorf("defs of r1 after call = %v, want [%d]", defs, call)
+	}
+}

@@ -1,0 +1,230 @@
+// Package externs is the shared signature database for the external
+// (libc-like) functions that synthetic firmware programs import.
+//
+// It is consumed by four subsystems that must agree on calling conventions
+// and roles:
+//
+//   - the assembler (internal/asm) auto-registers imports and validates arity;
+//   - the P-Code lifter (internal/pcode) derives CALL inputs/outputs;
+//   - executable identification (internal/identify) needs the sets of
+//     request-incoming (recv*) and response-outgoing (send*) functions;
+//   - the taint engine (internal/taint) attaches dataflow summaries keyed by
+//     function name.
+//
+// This plays the role of the libc function-signature models that real
+// binary-analysis frameworks ship.
+package externs
+
+// Variadic marks a function whose arity is fixed per callsite rather than
+// per signature (e.g. sprintf). The callsite encodes the actual argument
+// count.
+const Variadic = -1
+
+// Role classifies the part an external function plays in the FIRMRES
+// analyses.
+type Role uint8
+
+// Function roles.
+const (
+	RoleNone    Role = iota // no special meaning
+	RoleRecv                // request-incoming function (fun_in anchors)
+	RoleSend                // response-outgoing function (fun_out anchors)
+	RoleDeliver             // device-cloud message delivery (taint source callsites)
+	RoleString              // string/formatting helper with a dataflow summary
+	RoleJSON                // cJSON-style message assembly
+	RoleNVRAM               // NVRAM read (taint sink origin: NVRAM)
+	RoleConfig              // configuration-file read (taint sink origin: config)
+	RoleEnv                 // environment / front-end input (taint sink origin: env)
+	RoleFile                // file I/O (Dev-Secret tracking: Variable=Function(Constant))
+	RoleEvent               // event-loop registration (asynchronous handler hookup)
+	RoleCrypto              // key derivation / signing helpers
+	RoleIPC                 // local inter-process communication (negative anchors)
+	RoleMisc                // allocation, time, logging, sockets, ...
+)
+
+// Sig describes one external function.
+type Sig struct {
+	Name      string
+	NumParams int // Variadic for printf-style functions
+	HasResult bool
+	Role      Role
+}
+
+// Table lists every external function the corpus may import. Order is
+// stable; import indices are assigned per binary by the assembler.
+var Table = []Sig{
+	// Request-incoming anchors (fun_in).
+	{Name: "recv", NumParams: 4, HasResult: true, Role: RoleRecv},
+	{Name: "recvfrom", NumParams: 6, HasResult: true, Role: RoleRecv},
+	{Name: "recvmsg", NumParams: 3, HasResult: true, Role: RoleRecv},
+	{Name: "SSL_read", NumParams: 3, HasResult: true, Role: RoleRecv},
+	{Name: "mqtt_recv", NumParams: 2, HasResult: true, Role: RoleRecv},
+
+	// Response-outgoing anchors (fun_out).
+	{Name: "send", NumParams: 4, HasResult: true, Role: RoleSend},
+	{Name: "sendto", NumParams: 6, HasResult: true, Role: RoleSend},
+	{Name: "sendmsg", NumParams: 3, HasResult: true, Role: RoleSend},
+
+	// Device-cloud message delivery (taint sources). The first argument is
+	// the connection/handle; the second carries the message buffer, except
+	// curl_easy_perform and http_post where noted below in ArgOfMessage.
+	{Name: "SSL_write", NumParams: 3, HasResult: true, Role: RoleDeliver},
+	{Name: "CyaSSL_write", NumParams: 3, HasResult: true, Role: RoleDeliver},
+	{Name: "curl_easy_perform", NumParams: 1, HasResult: true, Role: RoleDeliver},
+	{Name: "http_post", NumParams: 3, HasResult: true, Role: RoleDeliver},
+	{Name: "mosquitto_publish", NumParams: 4, HasResult: true, Role: RoleDeliver},
+	{Name: "mqtt_publish", NumParams: 3, HasResult: true, Role: RoleDeliver},
+
+	// String construction and formatting.
+	{Name: "sprintf", NumParams: Variadic, HasResult: true, Role: RoleString},
+	{Name: "snprintf", NumParams: Variadic, HasResult: true, Role: RoleString},
+	{Name: "strcpy", NumParams: 2, HasResult: true, Role: RoleString},
+	{Name: "strncpy", NumParams: 3, HasResult: true, Role: RoleString},
+	{Name: "strcat", NumParams: 2, HasResult: true, Role: RoleString},
+	{Name: "strncat", NumParams: 3, HasResult: true, Role: RoleString},
+	{Name: "memcpy", NumParams: 3, HasResult: true, Role: RoleString},
+	{Name: "strdup", NumParams: 1, HasResult: true, Role: RoleString},
+	{Name: "strlen", NumParams: 1, HasResult: true, Role: RoleMisc},
+	{Name: "strcmp", NumParams: 2, HasResult: true, Role: RoleMisc},
+	{Name: "strncmp", NumParams: 3, HasResult: true, Role: RoleMisc},
+	{Name: "strstr", NumParams: 2, HasResult: true, Role: RoleMisc},
+	{Name: "strchr", NumParams: 2, HasResult: true, Role: RoleMisc},
+	{Name: "atoi", NumParams: 1, HasResult: true, Role: RoleString},
+	{Name: "itoa", NumParams: 2, HasResult: true, Role: RoleString},
+	{Name: "base64_encode", NumParams: 2, HasResult: true, Role: RoleString},
+	{Name: "urlencode", NumParams: 1, HasResult: true, Role: RoleString},
+
+	// cJSON-style assembly.
+	{Name: "curl_easy_init", NumParams: 0, HasResult: true, Role: RoleString},
+	{Name: "curl_setopt", NumParams: 3, HasResult: true, Role: RoleString},
+
+	{Name: "cJSON_CreateObject", NumParams: 0, HasResult: true, Role: RoleJSON},
+	{Name: "cJSON_AddStringToObject", NumParams: 3, HasResult: true, Role: RoleJSON},
+	{Name: "cJSON_AddNumberToObject", NumParams: 3, HasResult: true, Role: RoleJSON},
+	{Name: "cJSON_AddItemToObject", NumParams: 3, HasResult: false, Role: RoleJSON},
+	{Name: "cJSON_Print", NumParams: 1, HasResult: true, Role: RoleJSON},
+	{Name: "cJSON_PrintUnformatted", NumParams: 1, HasResult: true, Role: RoleJSON},
+	{Name: "cJSON_Delete", NumParams: 1, HasResult: false, Role: RoleJSON},
+
+	// Field-source origins (taint sinks).
+	{Name: "nvram_get", NumParams: 1, HasResult: true, Role: RoleNVRAM},
+	{Name: "nvram_safe_get", NumParams: 1, HasResult: true, Role: RoleNVRAM},
+	{Name: "config_read", NumParams: 1, HasResult: true, Role: RoleConfig},
+	{Name: "uci_get", NumParams: 1, HasResult: true, Role: RoleConfig},
+	{Name: "getenv", NumParams: 1, HasResult: true, Role: RoleEnv},
+	{Name: "web_get_param", NumParams: 1, HasResult: true, Role: RoleEnv},
+
+	// File I/O (hard-coded Dev-Secret pattern: Variable = Function(Constant)).
+	{Name: "fopen", NumParams: 2, HasResult: true, Role: RoleFile},
+	{Name: "fread", NumParams: 4, HasResult: true, Role: RoleFile},
+	{Name: "fclose", NumParams: 1, HasResult: false, Role: RoleFile},
+	{Name: "read_file", NumParams: 1, HasResult: true, Role: RoleFile},
+
+	// Event-loop / async registration.
+	{Name: "event_register", NumParams: 2, HasResult: false, Role: RoleEvent},
+	{Name: "uloop_fd_add", NumParams: 2, HasResult: false, Role: RoleEvent},
+	{Name: "task_spawn", NumParams: 1, HasResult: false, Role: RoleEvent},
+
+	// Crypto / derivation.
+	{Name: "md5", NumParams: 2, HasResult: true, Role: RoleCrypto},
+	{Name: "sha256", NumParams: 2, HasResult: true, Role: RoleCrypto},
+	{Name: "hmac_sha256", NumParams: 3, HasResult: true, Role: RoleCrypto},
+	{Name: "aes_encrypt", NumParams: 3, HasResult: true, Role: RoleCrypto},
+
+	// IPC (negative anchors for handler identification).
+	{Name: "ipc_recv", NumParams: 2, HasResult: true, Role: RoleIPC},
+	{Name: "ipc_send", NumParams: 2, HasResult: true, Role: RoleIPC},
+	{Name: "ubus_invoke", NumParams: 3, HasResult: true, Role: RoleIPC},
+
+	// Miscellaneous runtime.
+	{Name: "malloc", NumParams: 1, HasResult: true, Role: RoleMisc},
+	{Name: "calloc", NumParams: 2, HasResult: true, Role: RoleMisc},
+	{Name: "free", NumParams: 1, HasResult: false, Role: RoleMisc},
+	{Name: "printf", NumParams: Variadic, HasResult: true, Role: RoleMisc},
+	{Name: "fprintf", NumParams: Variadic, HasResult: true, Role: RoleMisc},
+	{Name: "syslog", NumParams: 2, HasResult: false, Role: RoleMisc},
+	{Name: "socket", NumParams: 3, HasResult: true, Role: RoleMisc},
+	{Name: "connect", NumParams: 3, HasResult: true, Role: RoleMisc},
+	{Name: "bind", NumParams: 3, HasResult: true, Role: RoleMisc},
+	{Name: "listen", NumParams: 2, HasResult: true, Role: RoleMisc},
+	{Name: "accept", NumParams: 3, HasResult: true, Role: RoleMisc},
+	{Name: "close", NumParams: 1, HasResult: true, Role: RoleMisc},
+	{Name: "select", NumParams: 5, HasResult: true, Role: RoleMisc},
+	{Name: "epoll_wait", NumParams: 4, HasResult: true, Role: RoleMisc},
+	{Name: "usleep", NumParams: 1, HasResult: false, Role: RoleMisc},
+	{Name: "time", NumParams: 1, HasResult: true, Role: RoleMisc},
+	{Name: "rand", NumParams: 0, HasResult: true, Role: RoleMisc},
+	{Name: "gethostbyname", NumParams: 1, HasResult: true, Role: RoleMisc},
+	{Name: "ssl_connect", NumParams: 2, HasResult: true, Role: RoleMisc},
+	{Name: "mqtt_connect", NumParams: 3, HasResult: true, Role: RoleMisc},
+	{Name: "mqtt_subscribe", NumParams: 2, HasResult: true, Role: RoleMisc},
+	{Name: "SSL_new", NumParams: 1, HasResult: true, Role: RoleMisc},
+	{Name: "exit", NumParams: 1, HasResult: false, Role: RoleMisc},
+}
+
+var byName = func() map[string]Sig {
+	m := make(map[string]Sig, len(Table))
+	for _, s := range Table {
+		m[s.Name] = s
+	}
+	return m
+}()
+
+// Lookup returns the signature for an external function name.
+func Lookup(name string) (Sig, bool) {
+	s, ok := byName[name]
+	return s, ok
+}
+
+// ByRole returns the names of all functions with the given role,
+// in Table order.
+func ByRole(role Role) []string {
+	var out []string
+	for _, s := range Table {
+		if s.Role == role {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// MessageArg returns the zero-based argument index that carries the outgoing
+// device-cloud message for a delivery function, and whether name is a
+// delivery function at all. This is the taint-source map of §IV-B.
+func MessageArg(name string) (int, bool) {
+	switch name {
+	case "SSL_write", "CyaSSL_write":
+		return 1, true // SSL_write(ssl, buf, len)
+	case "http_post":
+		return 2, true // http_post(conn, path, body)
+	case "curl_easy_perform":
+		return 0, true // curl handle aggregates the request
+	case "mosquitto_publish":
+		return 3, true // mosquitto_publish(mosq, mid, topic, payload)
+	case "mqtt_publish":
+		return 2, true // mqtt_publish(conn, topic, payload)
+	case "send", "sendto", "sendmsg":
+		return 1, true // send(fd, buf, len, flags)
+	}
+	return 0, false
+}
+
+// IsRecv reports whether name is a request-incoming anchor function.
+func IsRecv(name string) bool {
+	s, ok := byName[name]
+	return ok && s.Role == RoleRecv
+}
+
+// IsSend reports whether name is a response-outgoing anchor function
+// (including the richer delivery wrappers, which also emit traffic).
+func IsSend(name string) bool {
+	s, ok := byName[name]
+	return ok && (s.Role == RoleSend || s.Role == RoleDeliver)
+}
+
+// IsDeliver reports whether name is a device-cloud message delivery function
+// whose callsite arguments are taint sources.
+func IsDeliver(name string) bool {
+	s, ok := byName[name]
+	return ok && s.Role == RoleDeliver
+}

@@ -1,0 +1,81 @@
+package externs
+
+import "testing"
+
+func TestTableUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Table {
+		if seen[s.Name] {
+			t.Errorf("duplicate extern %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.NumParams != Variadic && (s.NumParams < 0 || s.NumParams > 6) {
+			t.Errorf("%s: arity %d outside calling convention", s.Name, s.NumParams)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s, ok := Lookup("sprintf")
+	if !ok || s.NumParams != Variadic || !s.HasResult {
+		t.Errorf("Lookup(sprintf) = %+v, %v", s, ok)
+	}
+	if _, ok := Lookup("not_a_function"); ok {
+		t.Error("Lookup invented a function")
+	}
+}
+
+func TestRoleSets(t *testing.T) {
+	recv := ByRole(RoleRecv)
+	if len(recv) == 0 {
+		t.Fatal("no recv anchors")
+	}
+	for _, name := range recv {
+		if !IsRecv(name) {
+			t.Errorf("IsRecv(%s) = false for RoleRecv member", name)
+		}
+		if IsDeliver(name) {
+			t.Errorf("recv anchor %s classified as delivery", name)
+		}
+	}
+	for _, name := range ByRole(RoleDeliver) {
+		if !IsDeliver(name) || !IsSend(name) {
+			t.Errorf("delivery %s misclassified", name)
+		}
+	}
+	// IPC functions are neither recv nor send anchors.
+	if IsRecv("ipc_recv") || IsSend("ipc_send") {
+		t.Error("IPC functions classified as network anchors")
+	}
+}
+
+func TestMessageArg(t *testing.T) {
+	tests := []struct {
+		name string
+		arg  int
+		ok   bool
+	}{
+		{"SSL_write", 1, true},
+		{"http_post", 2, true},
+		{"mosquitto_publish", 3, true},
+		{"mqtt_publish", 2, true},
+		{"curl_easy_perform", 0, true},
+		{"send", 1, true},
+		{"recv", 0, false},
+		{"strcpy", 0, false},
+	}
+	for _, tt := range tests {
+		arg, ok := MessageArg(tt.name)
+		if ok != tt.ok || (ok && arg != tt.arg) {
+			t.Errorf("MessageArg(%s) = %d, %v; want %d, %v", tt.name, arg, ok, tt.arg, tt.ok)
+		}
+	}
+}
+
+func TestEveryDeliveryHasMessageArg(t *testing.T) {
+	for _, name := range ByRole(RoleDeliver) {
+		if _, ok := MessageArg(name); !ok {
+			t.Errorf("delivery function %s has no message-argument mapping", name)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package formcheck implements the automated access-control checks of
+// paper §IV-E: verifying that a reconstructed message's primitives match
+// one of the correct forms of §II-B, and tracking whether a Dev-Secret is
+// hard-coded in the firmware.
+//
+// Correct forms:
+//
+//	binding:    Dev-Identifier + Dev-Secret + User-Cred
+//	business ①: Dev-Identifier + Bind-Token
+//	business ②: Dev-Identifier + Signature
+//	business ③: Dev-Identifier + Dev-Secret + User-Cred
+//
+// A message lacking every complete form is flagged as missing primitives; a
+// message whose Dev-Secret originates from a constant (<Variable=Constant>)
+// or from a file packaged in the firmware (<Variable=Function(Constant)>)
+// is flagged as carrying a hard-coded secret.
+package formcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"firmres/internal/fields"
+	"firmres/internal/image"
+	"firmres/internal/semantics"
+	"firmres/internal/taint"
+)
+
+// Verdict classifies the outcome of a message form check.
+type Verdict uint8
+
+// Verdicts.
+const (
+	FormOK                Verdict = iota + 1 // matches a correct form
+	FormMissingPrimitives                    // no complete primitive form
+	FormHardcodedSecret                      // form complete but secret leaks from firmware
+	FormNoPrimitives                         // carries no access-control primitives at all
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case FormOK:
+		return "ok"
+	case FormMissingPrimitives:
+		return "missing-primitives"
+	case FormHardcodedSecret:
+		return "hardcoded-secret"
+	case FormNoPrimitives:
+		return "no-primitives"
+	default:
+		return fmt.Sprintf("verdict?%d", uint8(v))
+	}
+}
+
+// Flawed reports whether the verdict marks a potential vulnerability.
+func (v Verdict) Flawed() bool { return v != FormOK }
+
+// Finding is the result of checking one message.
+type Finding struct {
+	Verdict     Verdict
+	MatchedForm string   // satisfied form for FormOK / FormHardcodedSecret
+	Present     []string // primitives present in the message
+	Missing     []string // primitives that would complete the nearest form
+	Hardcoded   []string // descriptions of hard-coded secret sources
+	Detail      string
+}
+
+// form is one acceptable primitive composition.
+type form struct {
+	name string
+	need []string
+}
+
+var correctForms = []form{
+	{name: "business-①(identifier+token)", need: []string{semantics.LabelDevIdentifier, semantics.LabelBindToken}},
+	{name: "business-②(identifier+signature)", need: []string{semantics.LabelDevIdentifier, semantics.LabelSignature}},
+	{name: "binding/business-③(identifier+secret+cred)", need: []string{semantics.LabelDevIdentifier, semantics.LabelDevSecret, semantics.LabelUserCred}},
+}
+
+// Check verifies one reconstructed message. img may be nil; when given it
+// is used to resolve <Variable=Function(Constant)> secret sources to files
+// packaged in the firmware.
+func Check(msg *fields.Message, img *image.Image) Finding {
+	present := map[string]bool{}
+	for _, f := range msg.Fields {
+		if f.Structural {
+			// Routes, delimiters and format strings cannot carry credential
+			// values even when their text mentions a primitive ("/auth/
+			// get_bind_params" is not a binding token).
+			continue
+		}
+		switch f.Semantics {
+		case semantics.LabelDevIdentifier, semantics.LabelDevSecret,
+			semantics.LabelUserCred, semantics.LabelBindToken,
+			semantics.LabelSignature:
+			present[f.Semantics] = true
+		}
+	}
+	var finding Finding
+	for _, label := range []string{
+		semantics.LabelDevIdentifier, semantics.LabelDevSecret,
+		semantics.LabelUserCred, semantics.LabelBindToken, semantics.LabelSignature,
+	} {
+		if present[label] {
+			finding.Present = append(finding.Present, label)
+		}
+	}
+
+	hardcoded := hardcodedSecrets(msg, img)
+	finding.Hardcoded = hardcoded
+
+	if len(finding.Present) == 0 {
+		finding.Verdict = FormNoPrimitives
+		finding.Detail = "message carries no access-control primitives"
+		finding.Missing = []string{semantics.LabelDevIdentifier}
+		return finding
+	}
+
+	for _, f := range correctForms {
+		if hasAll(present, f.need) {
+			finding.MatchedForm = f.name
+			if len(hardcoded) > 0 {
+				finding.Verdict = FormHardcodedSecret
+				finding.Detail = "form complete but Dev-Secret is recoverable from firmware: " +
+					strings.Join(hardcoded, "; ")
+			} else {
+				finding.Verdict = FormOK
+			}
+			return finding
+		}
+	}
+
+	finding.Verdict = FormMissingPrimitives
+	finding.Missing = nearestMissing(present)
+	finding.Detail = fmt.Sprintf("present %v; nearest form lacks %v", finding.Present, finding.Missing)
+	if len(hardcoded) > 0 {
+		finding.Detail += "; additionally hard-coded: " + strings.Join(hardcoded, "; ")
+	}
+	return finding
+}
+
+func hasAll(present map[string]bool, need []string) bool {
+	for _, n := range need {
+		if !present[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// nearestMissing returns the smallest completion set across correct forms.
+func nearestMissing(present map[string]bool) []string {
+	var best []string
+	for _, f := range correctForms {
+		var missing []string
+		for _, n := range f.need {
+			if !present[n] {
+				missing = append(missing, n)
+			}
+		}
+		if best == nil || len(missing) < len(best) {
+			best = missing
+		}
+	}
+	return best
+}
+
+// hardcodedSecrets applies the two source patterns of §IV-E to every
+// Dev-Secret field:
+//
+//	(1) <Variable = Constant>            — a constant exists in the program;
+//	(2) <Variable = Function(Constant)>  — the constant names a file that
+//	    can be read from the firmware filesystem.
+func hardcodedSecrets(msg *fields.Message, img *image.Image) []string {
+	var out []string
+	for _, f := range msg.Fields {
+		if f.Structural {
+			continue // delimiters and routes are not credential values
+		}
+		switch f.Semantics {
+		case semantics.LabelDevSecret:
+			// Checked below.
+		case semantics.LabelBindToken:
+			// A binding token baked into the firmware as a constant is the
+			// per-model fixed-token anti-pattern (Table III, device 5).
+			if f.Source == taint.LeafString || f.Source == taint.LeafNumeric {
+				out = append(out, fmt.Sprintf("constant binding token %q", f.Value))
+			}
+			continue
+		default:
+			continue
+		}
+		switch f.Source {
+		case taint.LeafString, taint.LeafNumeric:
+			out = append(out, fmt.Sprintf("constant secret %q", f.Value))
+		case taint.LeafFile, taint.LeafConfig:
+			if img == nil {
+				out = append(out, fmt.Sprintf("secret read from %q (firmware not available to confirm)", f.SourceKey))
+				continue
+			}
+			if file, ok := lookupFile(img, f.SourceKey); ok {
+				out = append(out, fmt.Sprintf("secret file %q packaged in firmware (%d bytes)",
+					file.Path, len(file.Data)))
+			}
+		}
+	}
+	return out
+}
+
+// HardcodedSource reports whether a field's value is recoverable from the
+// firmware alone (the attacker-knowledge criterion for probing): constants
+// always are; file/config sources are when the named file ships in the
+// image.
+func HardcodedSource(f fields.Field, img *image.Image) bool {
+	switch f.Source {
+	case taint.LeafString, taint.LeafNumeric:
+		return true
+	case taint.LeafFile, taint.LeafConfig:
+		if img == nil {
+			return false
+		}
+		_, ok := lookupFile(img, f.SourceKey)
+		return ok
+	default:
+		return false
+	}
+}
+
+// lookupFile finds a firmware file by exact path or basename match within
+// /etc (configuration keys often omit the directory).
+func lookupFile(img *image.Image, key string) (*image.File, bool) {
+	if key == "" {
+		return nil, false
+	}
+	if f, ok := img.File(key); ok {
+		return f, true
+	}
+	for _, f := range img.ConfigFiles() {
+		if strings.HasSuffix(f.Path, "/"+key) {
+			return f, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,238 @@
+// Package image defines the firmware image container: a packed file tree
+// with a device header and an integrity checksum.
+//
+// Real IoT firmware ships as a flash image holding a root filesystem with
+// binaries under /bin and /usr/bin, configuration under /etc, NVRAM default
+// blocks, and assorted scripts. This package reproduces that shape at the
+// level the FIRMRES pipeline needs: the unpacker yields the file tree, the
+// analyzer walks it for executables, and the Dev-Secret tracker reads
+// configuration files out of it (§IV-E "read the file from the firmware
+// system").
+package image
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+)
+
+// Magic identifies the firmware image format.
+const Magic = "FIRM"
+
+// FileMode carries the per-file flags.
+type FileMode uint8
+
+// File mode flags.
+const (
+	ModeExec FileMode = 1 << iota // executable
+)
+
+// File is one entry of the firmware file tree.
+type File struct {
+	Path string
+	Mode FileMode
+	Data []byte
+}
+
+// IsExec reports whether the file carries the executable bit.
+func (f *File) IsExec() bool { return f.Mode&ModeExec != 0 }
+
+// IsBinary reports whether the file content is a binfmt executable.
+func (f *File) IsBinary() bool {
+	return len(f.Data) >= 4 && string(f.Data[:4]) == "FRB1"
+}
+
+// IsScript reports whether the file is a shell or PHP script — the
+// executable kinds FIRMRES cannot analyze (paper §V-B, devices 21–22).
+func (f *File) IsScript() bool {
+	if bytes.HasPrefix(f.Data, []byte("#!")) || bytes.HasPrefix(f.Data, []byte("<?php")) {
+		return true
+	}
+	return strings.HasSuffix(f.Path, ".sh") || strings.HasSuffix(f.Path, ".php")
+}
+
+// Image is an unpacked firmware image.
+type Image struct {
+	Device  string // device model, e.g. "Teltonika RUT241"
+	Version string // firmware version string
+	Files   []File
+}
+
+// AddFile appends a file to the image. Paths should be absolute
+// ("/bin/rms_connect").
+func (im *Image) AddFile(path string, mode FileMode, data []byte) {
+	im.Files = append(im.Files, File{Path: path, Mode: mode, Data: data})
+}
+
+// File returns the file at the given path, if present.
+func (im *Image) File(path string) (*File, bool) {
+	for i := range im.Files {
+		if im.Files[i].Path == path {
+			return &im.Files[i], true
+		}
+	}
+	return nil, false
+}
+
+// Executables returns the executable files, in path order: the candidate set
+// for device-cloud executable identification.
+func (im *Image) Executables() []*File {
+	var out []*File
+	for i := range im.Files {
+		if im.Files[i].IsExec() {
+			out = append(out, &im.Files[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// ConfigFiles returns the non-executable files under /etc, in path order.
+func (im *Image) ConfigFiles() []*File {
+	var out []*File
+	for i := range im.Files {
+		f := &im.Files[i]
+		if !f.IsExec() && strings.HasPrefix(f.Path, "/etc/") {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Pack serializes the image. Layout:
+//
+//	magic | u32 headerLen | device | version | u32 fileCount
+//	per file: path | u8 mode | u32 dataLen | data
+//	trailing u32 CRC-32 (IEEE) over everything before it
+func (im *Image) Pack() []byte {
+	var body bytes.Buffer
+	body.WriteString(Magic)
+	writeStr(&body, im.Device)
+	writeStr(&body, im.Version)
+	writeU32(&body, uint32(len(im.Files)))
+	for _, f := range im.Files {
+		writeStr(&body, f.Path)
+		body.WriteByte(byte(f.Mode))
+		writeU32(&body, uint32(len(f.Data)))
+		body.Write(f.Data)
+	}
+	sum := crc32.ChecksumIEEE(body.Bytes())
+	writeU32(&body, sum)
+	return body.Bytes()
+}
+
+// Unpack parses and integrity-checks a packed firmware image.
+func Unpack(raw []byte) (*Image, error) {
+	if len(raw) < len(Magic)+4 {
+		return nil, fmt.Errorf("image: too short (%d bytes)", len(raw))
+	}
+	payload, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	want := binary.LittleEndian.Uint32(tail)
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("image: checksum mismatch: got %#x, want %#x", got, want)
+	}
+	r := &reader{buf: payload}
+	magic, err := r.bytes(len(Magic))
+	if err != nil || string(magic) != Magic {
+		return nil, fmt.Errorf("image: bad magic")
+	}
+	im := &Image{}
+	if im.Device, err = r.str(); err != nil {
+		return nil, fmt.Errorf("image: device: %w", err)
+	}
+	if im.Version, err = r.str(); err != nil {
+		return nil, fmt.Errorf("image: version: %w", err)
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("image: file count: %w", err)
+	}
+	if int64(n) > int64(len(payload)) {
+		return nil, fmt.Errorf("image: file count %d exceeds image size", n)
+	}
+	im.Files = make([]File, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var f File
+		if f.Path, err = r.str(); err != nil {
+			return nil, fmt.Errorf("image: file %d path: %w", i, err)
+		}
+		mode, err := r.byte()
+		if err != nil {
+			return nil, fmt.Errorf("image: file %d mode: %w", i, err)
+		}
+		f.Mode = FileMode(mode)
+		dataLen, err := r.u32()
+		if err != nil {
+			return nil, fmt.Errorf("image: file %d length: %w", i, err)
+		}
+		data, err := r.bytes(int(dataLen))
+		if err != nil {
+			return nil, fmt.Errorf("image: file %d data: %w", i, err)
+		}
+		f.Data = append([]byte(nil), data...)
+		im.Files = append(im.Files, f)
+	}
+	if !r.done() {
+		return nil, fmt.Errorf("image: %d trailing bytes", len(payload)-r.off)
+	}
+	return im, nil
+}
+
+func writeU32(w *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeStr(w *bytes.Buffer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) done() bool { return r.off >= len(r.buf) }
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, fmt.Errorf("truncated at offset %d (need %d of %d)", r.off, n, len(r.buf))
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

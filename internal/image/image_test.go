@@ -1,0 +1,138 @@
+package image
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Image {
+	im := &Image{Device: "Teltonika RUT241", Version: "RUT2M_R_00.07.01.3"}
+	im.AddFile("/bin/rms_connect", ModeExec, []byte("FRB1\x00\x01binarybody"))
+	im.AddFile("/bin/busybox", ModeExec, []byte("FRB1otherbinary"))
+	im.AddFile("/usr/sbin/cloud.sh", ModeExec, []byte("#!/bin/sh\ncurl cloud\n"))
+	im.AddFile("/etc/device.conf", 0, []byte("mac=AA:BB:CC:00:11:22\nserial=1102202842\n"))
+	im.AddFile("/etc/ssl/device.pem", 0, []byte("-----BEGIN CERT-----"))
+	return im
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	want := sample()
+	got, err := Unpack(want.Pack())
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestUnpackDetectsCorruption(t *testing.T) {
+	raw := sample().Pack()
+	for _, off := range []int{5, len(raw) / 2, len(raw) - 6} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0xFF
+		if _, err := Unpack(bad); err == nil {
+			t.Errorf("Unpack accepted image with flipped byte at %d", off)
+		}
+	}
+}
+
+func TestUnpackDetectsTruncation(t *testing.T) {
+	raw := sample().Pack()
+	for n := 0; n < len(raw); n += 13 {
+		if _, err := Unpack(raw[:n]); err == nil {
+			t.Errorf("Unpack accepted %d-byte prefix", n)
+		}
+	}
+}
+
+func TestUnpackRejectsTrailingGarbage(t *testing.T) {
+	raw := sample().Pack()
+	if _, err := Unpack(append(raw, 0xAA)); err == nil {
+		t.Error("Unpack accepted trailing garbage")
+	}
+}
+
+func TestExecutables(t *testing.T) {
+	im := sample()
+	execs := im.Executables()
+	if len(execs) != 3 {
+		t.Fatalf("Executables returned %d files, want 3", len(execs))
+	}
+	// Path order.
+	for i := 1; i < len(execs); i++ {
+		if execs[i-1].Path >= execs[i].Path {
+			t.Errorf("executables not sorted: %q >= %q", execs[i-1].Path, execs[i].Path)
+		}
+	}
+}
+
+func TestFileClassification(t *testing.T) {
+	im := sample()
+	bin, _ := im.File("/bin/rms_connect")
+	if !bin.IsBinary() || bin.IsScript() {
+		t.Error("rms_connect misclassified")
+	}
+	sh, _ := im.File("/usr/sbin/cloud.sh")
+	if sh.IsBinary() || !sh.IsScript() {
+		t.Error("cloud.sh misclassified")
+	}
+	php := File{Path: "/www/cloud.php", Data: []byte("<?php register(); ?>")}
+	if !php.IsScript() {
+		t.Error("php file not classified as script")
+	}
+	conf, _ := im.File("/etc/device.conf")
+	if conf.IsBinary() || conf.IsExec() {
+		t.Error("config misclassified")
+	}
+}
+
+func TestConfigFiles(t *testing.T) {
+	im := sample()
+	confs := im.ConfigFiles()
+	if len(confs) != 2 {
+		t.Fatalf("ConfigFiles returned %d, want 2", len(confs))
+	}
+	if confs[0].Path != "/etc/device.conf" || confs[1].Path != "/etc/ssl/device.pem" {
+		t.Errorf("ConfigFiles order wrong: %q, %q", confs[0].Path, confs[1].Path)
+	}
+}
+
+func TestFileLookupMiss(t *testing.T) {
+	if _, ok := sample().File("/nonexistent"); ok {
+		t.Error("File returned a hit for a missing path")
+	}
+}
+
+func TestEmptyImageRoundTrip(t *testing.T) {
+	im := &Image{Device: "d", Version: "v"}
+	got, err := Unpack(im.Pack())
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if got.Device != "d" || got.Version != "v" || len(got.Files) != 0 {
+		t.Errorf("empty image round trip = %+v", got)
+	}
+}
+
+// TestPackUnpackProperty fuzzes device metadata and one file body through the
+// pack/unpack cycle.
+func TestPackUnpackProperty(t *testing.T) {
+	f := func(device, version, path string, data []byte, mode uint8) bool {
+		im := &Image{Device: device, Version: version}
+		im.AddFile(path, FileMode(mode), data)
+		got, err := Unpack(im.Pack())
+		if err != nil {
+			return false
+		}
+		g := got.Files[0]
+		return got.Device == device && got.Version == version &&
+			g.Path == path && g.Mode == FileMode(mode) &&
+			(len(data) == 0 && len(g.Data) == 0 || bytes.Equal(g.Data, data))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpNop},
+		{Op: OpLI, Rd: R3, Imm: -42},
+		{Op: OpLA, Rd: R1, Imm: int32(0x100010)},
+		{Op: OpMov, Rd: R2, Rs1: R4},
+		{Op: OpAdd, Rd: R5, Rs1: R6, Rs2: R7},
+		{Op: OpAddI, Rd: R5, Rs1: R6, Imm: math.MaxInt32},
+		{Op: OpLW, Rd: R8, Rs1: SP, Imm: -8},
+		{Op: OpSW, Rs1: SP, Rs2: R9, Imm: 16},
+		{Op: OpBeq, Rs1: R1, Rs2: R0, Imm: 0x1000},
+		{Op: OpJmp, Imm: 0x2000},
+		{Op: OpCall, Imm: 0x1008},
+		{Op: OpCallI, Rs1: 3, Imm: 7},
+		{Op: OpCallR, Rs1: R10, Rd: 2},
+		{Op: OpRet},
+	}
+	for _, want := range cases {
+		enc := want.Encode(nil)
+		if len(enc) != InstrSize {
+			t.Fatalf("%v: encoded length %d, want %d", want, len(enc), InstrSize)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want, err)
+		}
+		if got != want {
+			t.Errorf("round trip mismatch: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	tests := []struct {
+		name string
+		raw  []byte
+	}{
+		{"truncated", []byte{byte(OpNop), 0, 0}},
+		{"zero opcode", make([]byte, InstrSize)},
+		{"opcode out of range", []byte{0xFF, 0, 0, 0, 0, 0, 0, 0}},
+		{"register out of range", []byte{byte(OpMov), 99, 0, 0, 0, 0, 0, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.raw); err == nil {
+				t.Errorf("Decode(%v) succeeded, want error", tt.raw)
+			}
+		})
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	var text []byte
+	want := []Instruction{
+		{Op: OpLI, Rd: R1, Imm: 1},
+		{Op: OpLI, Rd: R2, Imm: 2},
+		{Op: OpAdd, Rd: R3, Rs1: R1, Rs2: R2},
+		{Op: OpRet},
+	}
+	for _, in := range want {
+		text = in.Encode(text)
+	}
+	got, err := DecodeAll(text)
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d instructions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("instruction %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecodeAllRejectsMisaligned(t *testing.T) {
+	if _, err := DecodeAll(make([]byte, InstrSize+1)); err == nil {
+		t.Error("DecodeAll accepted misaligned text")
+	}
+}
+
+// TestEncodeDecodeProperty checks decode(encode(x)) == x for arbitrary valid
+// instructions.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int32) bool {
+		in := Instruction{
+			Op:  Opcode(op%uint8(opMax-1) + 1),
+			Rd:  Reg(rd % NumRegs),
+			Rs1: Reg(rs1 % NumRegs),
+			Rs2: Reg(rs2 % NumRegs),
+			Imm: imm,
+		}
+		got, err := Decode(in.Encode(nil))
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpcodeClassification(t *testing.T) {
+	if !OpBeq.IsBranch() || OpJmp.IsBranch() {
+		t.Error("branch classification wrong")
+	}
+	if !OpCall.IsCall() || !OpCallI.IsCall() || !OpCallR.IsCall() || OpRet.IsCall() {
+		t.Error("call classification wrong")
+	}
+	if !OpJmp.IsTerminator() || !OpRet.IsTerminator() || OpBeq.IsTerminator() {
+		t.Error("terminator classification wrong")
+	}
+}
+
+func TestRegisterNames(t *testing.T) {
+	tests := []struct {
+		reg  Reg
+		want string
+	}{
+		{R0, "r0"}, {R7, "r7"}, {SP, "sp"}, {RA, "ra"},
+	}
+	for _, tt := range tests {
+		if got := tt.reg.String(); got != tt.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", tt.reg, got, tt.want)
+		}
+	}
+}
+
+func TestArgReg(t *testing.T) {
+	for i := 0; i < NumArgRegs; i++ {
+		if got := ArgReg(i); got != R1+Reg(i) {
+			t.Errorf("ArgReg(%d) = %v, want %v", i, got, R1+Reg(i))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ArgReg(6) did not panic")
+		}
+	}()
+	ArgReg(NumArgRegs)
+}
+
+func TestInstructionString(t *testing.T) {
+	tests := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: OpLI, Rd: R1, Imm: 16}, "li r1, 0x10"},
+		{Instruction{Op: OpMov, Rd: R2, Rs1: R3}, "mov r2, r3"},
+		{Instruction{Op: OpAdd, Rd: R1, Rs1: R2, Rs2: R3}, "add r1, r2, r3"},
+		{Instruction{Op: OpLW, Rd: R1, Rs1: SP, Imm: -4}, "lw r1, -4(sp)"},
+		{Instruction{Op: OpSW, Rs1: SP, Rs2: R2, Imm: 8}, "sw r2, 8(sp)"},
+		{Instruction{Op: OpRet}, "ret"},
+		{Instruction{Op: OpCallI, Imm: 3}, "calli import#3"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package mft
+
+import (
+	"math/rand"
+	"testing"
+
+	"firmres/internal/taint"
+)
+
+// randomTree builds a random MFT-shaped tree with the given seed.
+func randomTree(rng *rand.Rand, depth int) *taint.Node {
+	if depth == 0 || rng.Intn(3) == 0 {
+		// Leaf.
+		kinds := []taint.NodeKind{
+			taint.LeafString, taint.LeafNumeric, taint.LeafNVRAM,
+			taint.LeafConfig, taint.LeafEnv, taint.LeafDynamic,
+		}
+		return &taint.Node{
+			Kind:   kinds[rng.Intn(len(kinds))],
+			StrVal: string(rune('a' + rng.Intn(26))),
+			Key:    string(rune('k' + rng.Intn(3))),
+		}
+	}
+	kinds := []taint.NodeKind{taint.NodeOp, taint.NodeCall, taint.NodeParam, taint.NodeReturn, taint.NodeJSON}
+	n := &taint.Node{
+		Kind:   kinds[rng.Intn(len(kinds))],
+		Callee: []string{"sprintf", "strcat", "helper", "STORE"}[rng.Intn(4)],
+		OpIdx:  rng.Intn(100),
+	}
+	if n.Kind == taint.NodeCall && rng.Intn(2) == 0 {
+		n.Format = "k=%s"
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		n.Children = append(n.Children, randomTree(rng, depth-1))
+	}
+	return n
+}
+
+func randomMFT(seed int64) *taint.MFT {
+	rng := rand.New(rand.NewSource(seed))
+	root := &taint.Node{Kind: taint.NodeRoot, Callee: "SSL_write"}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		arg := &taint.Node{Kind: taint.NodeArg, ArgLabel: "payload"}
+		arg.Children = append(arg.Children, randomTree(rng, 4))
+		root.Children = append(root.Children, arg)
+	}
+	return &taint.MFT{Deliver: "SSL_write", Root: root}
+}
+
+func leafSeq(tr *Tree) []string {
+	var out []string
+	for _, l := range tr.Root.Leaves() {
+		out = append(out, l.Orig.Kind.String()+":"+l.Orig.StrVal)
+	}
+	return out
+}
+
+// TestInvertInvolutionProperty: double inversion restores leaf order on
+// arbitrary trees.
+func TestInvertInvolutionProperty(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		tr := Simplify(randomMFT(seed))
+		if tr.Root == nil {
+			continue
+		}
+		before := leafSeq(tr)
+		tr.Invert()
+		tr.Invert()
+		after := leafSeq(tr)
+		if len(before) != len(after) {
+			t.Fatalf("seed %d: leaf count changed %d -> %d", seed, len(before), len(after))
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("seed %d: leaf %d changed %q -> %q", seed, i, before[i], after[i])
+			}
+		}
+	}
+}
+
+// TestInvertReversesLeafOrderProperty: single inversion reverses the leaf
+// sequence of any tree whose interior nodes all branch (for trees with
+// single-child chains the property holds on the simplified form).
+func TestInvertReversesLeafOrderProperty(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		tr := Simplify(randomMFT(seed))
+		if tr.Root == nil {
+			continue
+		}
+		before := leafSeq(tr)
+		tr.Invert()
+		after := leafSeq(tr)
+		for i := range before {
+			if before[i] != after[len(after)-1-i] {
+				t.Fatalf("seed %d: inversion did not reverse leaves:\n%v\n%v", seed, before, after)
+			}
+		}
+	}
+}
+
+// TestSimplifyPreservesLeavesProperty: simplification never drops a leaf.
+func TestSimplifyPreservesLeavesProperty(t *testing.T) {
+	for seed := int64(100); seed < 160; seed++ {
+		m := randomMFT(seed)
+		want := len(m.Root.Leaves())
+		tr := Simplify(m)
+		if got := len(tr.Root.Leaves()); got != want {
+			t.Fatalf("seed %d: simplified leaves %d, original %d", seed, got, want)
+		}
+	}
+}
+
+// TestSimplifyIdempotentProperty: simplifying the simplified structure
+// changes nothing (sizes are already minimal).
+func TestSimplifyIdempotentProperty(t *testing.T) {
+	for seed := int64(200); seed < 240; seed++ {
+		m := randomMFT(seed)
+		tr := Simplify(m)
+		size1 := 0
+		if tr.Root != nil {
+			size1 = tr.Root.Size()
+		}
+		// Rebuild a taint view of the simplified tree and simplify again.
+		rebuilt := rebuild(tr.Root)
+		tr2 := Simplify(&taint.MFT{Deliver: m.Deliver, Root: rebuilt})
+		size2 := 0
+		if tr2.Root != nil {
+			size2 = tr2.Root.Size()
+		}
+		if size1 != size2 {
+			t.Fatalf("seed %d: simplify not idempotent: %d -> %d", seed, size1, size2)
+		}
+	}
+}
+
+func rebuild(n *SNode) *taint.Node {
+	if n == nil {
+		return nil
+	}
+	clone := *n.Orig
+	clone.Children = nil
+	for _, c := range n.Children {
+		clone.Children = append(clone.Children, rebuild(c))
+	}
+	return &clone
+}
+
+// TestPathHashStableUnderInversion: grouping hashes must not change when
+// the field order is recovered.
+func TestPathHashStableUnderInversion(t *testing.T) {
+	for seed := int64(300); seed < 330; seed++ {
+		tr := Simplify(randomMFT(seed))
+		if tr.Root == nil {
+			continue
+		}
+		// Paths with identical content share a hash, so compare multisets.
+		before := map[uint64]int{}
+		for _, p := range tr.Paths() {
+			before[p.Hash]++
+		}
+		tr.Invert()
+		for _, p := range tr.Paths() {
+			if before[p.Hash] == 0 {
+				t.Fatalf("seed %d: hash %#x appeared after inversion", seed, p.Hash)
+			}
+			before[p.Hash]--
+		}
+		for h, n := range before {
+			if n != 0 {
+				t.Fatalf("seed %d: hash %#x count off by %d after inversion", seed, h, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package mqtt
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// AuthFunc decides a CONNECT attempt; it returns an MQTT connect return
+// code (ConnAccepted to admit).
+type AuthFunc func(clientID, username, password string) uint8
+
+// PublishFunc authorizes and observes a PUBLISH from an authenticated
+// client; returning false drops the message (no routing). The broker also
+// records the decision for the experiment harness.
+type PublishFunc func(clientID, topic string, payload []byte) bool
+
+// PublishRecord is one observed publish attempt.
+type PublishRecord struct {
+	ClientID string
+	Topic    string
+	Payload  []byte
+	Allowed  bool
+}
+
+// Broker is a minimal MQTT 3.1.1 broker.
+type Broker struct {
+	Auth    AuthFunc
+	OnPub   PublishFunc
+	ln      net.Listener
+	mu      sync.Mutex
+	subs    map[string][]*session // topic filter -> sessions
+	conns   map[net.Conn]bool     // every live connection, for shutdown
+	records []PublishRecord
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type session struct {
+	conn     net.Conn
+	clientID string
+	mu       sync.Mutex // serializes writes
+}
+
+func (s *session) send(p *Packet) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return WritePacket(s.conn, p)
+}
+
+// NewBroker returns a broker with permissive defaults (accept everything).
+func NewBroker() *Broker {
+	return &Broker{
+		Auth:  func(string, string, string) uint8 { return ConnAccepted },
+		OnPub: func(string, string, []byte) bool { return true },
+		subs:  make(map[string][]*session),
+		conns: make(map[net.Conn]bool),
+	}
+}
+
+// Listen starts serving on addr ("127.0.0.1:0" for an ephemeral port) and
+// returns the bound address.
+func (b *Broker) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("mqtt: listen: %w", err)
+	}
+	b.ln = ln
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the broker, severs every live connection, and waits for the
+// connection handlers to finish.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	b.closed = true
+	ln := b.ln
+	conns := make([]net.Conn, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	b.wg.Wait()
+	return err
+}
+
+// Records returns a copy of all observed publish attempts.
+func (b *Broker) Records() []PublishRecord {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]PublishRecord(nil), b.records...)
+}
+
+func (b *Broker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.handle(conn)
+		}()
+	}
+}
+
+func (b *Broker) handle(conn net.Conn) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
+	b.conns[conn] = true
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		delete(b.conns, conn)
+		b.mu.Unlock()
+		conn.Close()
+	}()
+	first, err := ReadPacket(conn)
+	if err != nil || first.Type != CONNECT {
+		return
+	}
+	rc := b.Auth(first.ClientID, first.Username, first.Password)
+	sess := &session{conn: conn, clientID: first.ClientID}
+	if err := sess.send(&Packet{Type: CONNACK, ReturnCode: rc}); err != nil || rc != ConnAccepted {
+		return
+	}
+	defer b.dropSession(sess)
+	for {
+		p, err := ReadPacket(conn)
+		if err != nil {
+			return
+		}
+		switch p.Type {
+		case PUBLISH:
+			allowed := b.OnPub(sess.clientID, p.Topic, p.Payload)
+			b.mu.Lock()
+			b.records = append(b.records, PublishRecord{
+				ClientID: sess.clientID, Topic: p.Topic,
+				Payload: append([]byte(nil), p.Payload...), Allowed: allowed,
+			})
+			var targets []*session
+			if allowed {
+				for filter, sessions := range b.subs {
+					if TopicMatches(filter, p.Topic) {
+						targets = append(targets, sessions...)
+					}
+				}
+			}
+			b.mu.Unlock()
+			for _, t := range targets {
+				if t != sess {
+					_ = t.send(&Packet{Type: PUBLISH, Topic: p.Topic, Payload: p.Payload})
+				}
+			}
+		case SUBSCRIBE:
+			b.mu.Lock()
+			for _, topic := range p.Topics {
+				b.subs[topic] = append(b.subs[topic], sess)
+			}
+			b.mu.Unlock()
+			_ = sess.send(&Packet{Type: SUBACK, MessageID: p.MessageID, Topics: p.Topics})
+		case PINGREQ:
+			_ = sess.send(&Packet{Type: PINGRESP})
+		case DISCONNECT:
+			return
+		}
+	}
+}
+
+func (b *Broker) dropSession(sess *session) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for topic, sessions := range b.subs {
+		keep := sessions[:0]
+		for _, s := range sessions {
+			if s != sess {
+				keep = append(keep, s)
+			}
+		}
+		b.subs[topic] = keep
+	}
+}
+
+// TopicMatches implements MQTT topic-filter matching with + and #
+// wildcards.
+func TopicMatches(filter, topic string) bool {
+	fp := strings.Split(filter, "/")
+	tp := strings.Split(topic, "/")
+	for i, f := range fp {
+		if f == "#" {
+			return true
+		}
+		if i >= len(tp) {
+			return false
+		}
+		if f != "+" && f != tp[i] {
+			return false
+		}
+	}
+	return len(fp) == len(tp)
+}
+
+// Client is a minimal MQTT client for devices and probes.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects and authenticates; a non-accepted return code is an error
+// carrying the code.
+func Dial(addr, clientID, username, password string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mqtt: dial: %w", err)
+	}
+	c := &Client{conn: conn}
+	err = WritePacket(conn, &Packet{
+		Type: CONNECT, ClientID: clientID, Username: username, Password: password,
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ack, err := ReadPacket(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("mqtt: connack: %w", err)
+	}
+	if ack.Type != CONNACK {
+		conn.Close()
+		return nil, fmt.Errorf("mqtt: expected CONNACK, got type %d", ack.Type)
+	}
+	if ack.ReturnCode != ConnAccepted {
+		conn.Close()
+		return nil, &ConnRefusedError{Code: ack.ReturnCode}
+	}
+	return c, nil
+}
+
+// ConnRefusedError reports a rejected CONNECT.
+type ConnRefusedError struct{ Code uint8 }
+
+func (e *ConnRefusedError) Error() string {
+	return fmt.Sprintf("mqtt: connection refused (code %d)", e.Code)
+}
+
+// Publish sends a QoS-0 publish.
+func (c *Client) Publish(topic string, payload []byte) error {
+	return WritePacket(c.conn, &Packet{Type: PUBLISH, Topic: topic, Payload: payload})
+}
+
+// Subscribe registers topic filters.
+func (c *Client) Subscribe(topics ...string) error {
+	err := WritePacket(c.conn, &Packet{Type: SUBSCRIBE, MessageID: 1, Topics: topics})
+	if err != nil {
+		return err
+	}
+	ack, err := ReadPacket(c.conn)
+	if err != nil {
+		return err
+	}
+	if ack.Type != SUBACK {
+		return fmt.Errorf("mqtt: expected SUBACK, got type %d", ack.Type)
+	}
+	return nil
+}
+
+// Receive reads the next packet (e.g. a routed PUBLISH).
+func (c *Client) Receive() (*Packet, error) { return ReadPacket(c.conn) }
+
+// Close disconnects.
+func (c *Client) Close() error {
+	_ = WritePacket(c.conn, &Packet{Type: DISCONNECT})
+	return c.conn.Close()
+}

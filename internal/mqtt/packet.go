@@ -1,0 +1,308 @@
+// Package mqtt implements the MQTT 3.1.1 subset the device-cloud
+// experiments need: CONNECT/CONNACK authentication, PUBLISH routing,
+// SUBSCRIBE/SUBACK, PING, and DISCONNECT, plus a small broker with
+// pluggable per-client authentication and authorization hooks.
+//
+// It stands in for the vendors' MQTT endpoints (the paper's clouds host
+// topics like /sys/properties/report behind broker-side access control).
+package mqtt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// PacketType is the MQTT control-packet type (high nibble of byte 1).
+type PacketType uint8
+
+// Control packet types (MQTT 3.1.1 §2.2.1).
+const (
+	CONNECT    PacketType = 1
+	CONNACK    PacketType = 2
+	PUBLISH    PacketType = 3
+	SUBSCRIBE  PacketType = 8
+	SUBACK     PacketType = 9
+	PINGREQ    PacketType = 12
+	PINGRESP   PacketType = 13
+	DISCONNECT PacketType = 14
+)
+
+// Connect return codes (MQTT 3.1.1 §3.2.2.3).
+const (
+	ConnAccepted           = 0x00
+	ConnRefusedIdentifier  = 0x02
+	ConnRefusedUnavailable = 0x03
+	ConnRefusedBadAuth     = 0x04
+	ConnRefusedNotAuth     = 0x05
+)
+
+// Packet is one decoded control packet.
+type Packet struct {
+	Type  PacketType
+	Flags uint8
+
+	// CONNECT fields.
+	ClientID string
+	Username string
+	Password string
+
+	// CONNACK fields.
+	ReturnCode uint8
+
+	// PUBLISH fields.
+	Topic   string
+	Payload []byte
+
+	// SUBSCRIBE fields.
+	MessageID uint16
+	Topics    []string
+}
+
+// maxRemaining bounds accepted packet bodies (1 MiB) to keep malformed
+// length prefixes from driving allocations.
+const maxRemaining = 1 << 20
+
+// WritePacket encodes and writes one packet.
+func WritePacket(w io.Writer, p *Packet) error {
+	body, err := encodeBody(p)
+	if err != nil {
+		return err
+	}
+	header := []byte{byte(p.Type)<<4 | p.Flags&0x0F}
+	header = appendVarint(header, len(body))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("mqtt: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("mqtt: write body: %w", err)
+	}
+	return nil
+}
+
+func encodeBody(p *Packet) ([]byte, error) {
+	var b []byte
+	switch p.Type {
+	case CONNECT:
+		b = appendString(b, "MQTT")
+		b = append(b, 4)      // protocol level 3.1.1
+		var flags byte = 0x02 // clean session
+		if p.Username != "" {
+			flags |= 0x80
+		}
+		if p.Password != "" {
+			flags |= 0x40
+		}
+		b = append(b, flags)
+		b = append(b, 0, 60) // keepalive
+		b = appendString(b, p.ClientID)
+		if p.Username != "" {
+			b = appendString(b, p.Username)
+		}
+		if p.Password != "" {
+			b = appendString(b, p.Password)
+		}
+	case CONNACK:
+		b = append(b, 0, p.ReturnCode)
+	case PUBLISH:
+		b = appendString(b, p.Topic)
+		b = append(b, p.Payload...)
+	case SUBSCRIBE:
+		b = binary.BigEndian.AppendUint16(b, p.MessageID)
+		for _, t := range p.Topics {
+			b = appendString(b, t)
+			b = append(b, 0) // QoS 0
+		}
+	case SUBACK:
+		b = binary.BigEndian.AppendUint16(b, p.MessageID)
+		for range p.Topics {
+			b = append(b, p.ReturnCode)
+		}
+	case PINGREQ, PINGRESP, DISCONNECT:
+		// Empty body.
+	default:
+		return nil, fmt.Errorf("mqtt: cannot encode packet type %d", p.Type)
+	}
+	return b, nil
+}
+
+// ReadPacket reads and decodes one packet.
+func ReadPacket(r io.Reader) (*Packet, error) {
+	var h [1]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, err
+	}
+	p := &Packet{Type: PacketType(h[0] >> 4), Flags: h[0] & 0x0F}
+	n, err := readVarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("mqtt: remaining length: %w", err)
+	}
+	if n > maxRemaining {
+		return nil, fmt.Errorf("mqtt: packet too large: %d bytes", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("mqtt: body: %w", err)
+	}
+	return p, decodeBody(p, body)
+}
+
+func decodeBody(p *Packet, b []byte) error {
+	d := &decoder{buf: b}
+	switch p.Type {
+	case CONNECT:
+		proto, err := d.str()
+		if err != nil || proto != "MQTT" {
+			return fmt.Errorf("mqtt: bad protocol name %q", proto)
+		}
+		level, err := d.byte()
+		if err != nil || level != 4 {
+			return fmt.Errorf("mqtt: unsupported protocol level %d", level)
+		}
+		flags, err := d.byte()
+		if err != nil {
+			return err
+		}
+		if _, err := d.u16(); err != nil { // keepalive
+			return err
+		}
+		if p.ClientID, err = d.str(); err != nil {
+			return err
+		}
+		if flags&0x80 != 0 {
+			if p.Username, err = d.str(); err != nil {
+				return err
+			}
+		}
+		if flags&0x40 != 0 {
+			if p.Password, err = d.str(); err != nil {
+				return err
+			}
+		}
+	case CONNACK:
+		if _, err := d.byte(); err != nil {
+			return err
+		}
+		rc, err := d.byte()
+		if err != nil {
+			return err
+		}
+		p.ReturnCode = rc
+	case PUBLISH:
+		topic, err := d.str()
+		if err != nil {
+			return err
+		}
+		p.Topic = topic
+		p.Payload = append([]byte(nil), d.rest()...)
+	case SUBSCRIBE:
+		id, err := d.u16()
+		if err != nil {
+			return err
+		}
+		p.MessageID = id
+		for !d.done() {
+			t, err := d.str()
+			if err != nil {
+				return err
+			}
+			if _, err := d.byte(); err != nil { // QoS
+				return err
+			}
+			p.Topics = append(p.Topics, t)
+		}
+	case SUBACK:
+		id, err := d.u16()
+		if err != nil {
+			return err
+		}
+		p.MessageID = id
+		if !d.done() {
+			rc, err := d.byte()
+			if err != nil {
+				return err
+			}
+			p.ReturnCode = rc
+		}
+	case PINGREQ, PINGRESP, DISCONNECT:
+		// Empty body.
+	default:
+		return fmt.Errorf("mqtt: unsupported packet type %d", p.Type)
+	}
+	return nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendVarint(b []byte, n int) []byte {
+	for {
+		digit := byte(n % 128)
+		n /= 128
+		if n > 0 {
+			digit |= 0x80
+		}
+		b = append(b, digit)
+		if n == 0 {
+			return b
+		}
+	}
+}
+
+func readVarint(r io.Reader) (int, error) {
+	var n, shift int
+	for i := 0; i < 4; i++ {
+		var b [1]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		n |= int(b[0]&0x7F) << shift
+		if b[0]&0x80 == 0 {
+			return n, nil
+		}
+		shift += 7
+	}
+	return 0, fmt.Errorf("malformed variable-length integer")
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) done() bool { return d.off >= len(d.buf) }
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, fmt.Errorf("mqtt: truncated packet")
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.off+2 > len(d.buf) {
+		return 0, fmt.Errorf("mqtt: truncated packet")
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u16()
+	if err != nil {
+		return "", err
+	}
+	if d.off+int(n) > len(d.buf) {
+		return "", fmt.Errorf("mqtt: truncated string")
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) rest() []byte { return d.buf[d.off:] }

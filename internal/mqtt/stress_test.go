@@ -1,0 +1,140 @@
+package mqtt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBrokerConcurrentClients stresses the broker with parallel publishers
+// and one subscriber: every allowed publish must be recorded exactly once
+// and the broker must shut down cleanly with handlers still running.
+func TestBrokerConcurrentClients(t *testing.T) {
+	b := NewBroker()
+	addr := startBroker(t, b)
+
+	sub, err := Dial(addr, "collector", "", "")
+	if err != nil {
+		t.Fatalf("Dial(sub): %v", err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe("/stress/#"); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	const publishers = 16
+	const perClient = 20
+	var wg sync.WaitGroup
+	for i := 0; i < publishers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr, fmt.Sprintf("pub-%d", i), "", "")
+			if err != nil {
+				t.Errorf("Dial(pub-%d): %v", i, err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				if err := c.Publish(fmt.Sprintf("/stress/%d", i), []byte{byte(j)}); err != nil {
+					t.Errorf("Publish: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Wait for the broker to process all publishes.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(b.Records()) >= publishers*perClient {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	records := b.Records()
+	if len(records) != publishers*perClient {
+		t.Fatalf("records = %d, want %d", len(records), publishers*perClient)
+	}
+	perTopic := map[string]int{}
+	for _, r := range records {
+		if !r.Allowed {
+			t.Errorf("publish on %s denied by permissive broker", r.Topic)
+		}
+		perTopic[r.Topic]++
+	}
+	for topic, n := range perTopic {
+		if n != perClient {
+			t.Errorf("topic %s has %d records, want %d", topic, n, perClient)
+		}
+	}
+}
+
+// TestBrokerSubscriberReceivesAll checks routed delivery under load.
+func TestBrokerSubscriberReceivesAll(t *testing.T) {
+	b := NewBroker()
+	addr := startBroker(t, b)
+	sub, err := Dial(addr, "sub", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe("/t"); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := Dial(addr, "pub", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := pub.Publish("/t", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	seen := map[byte]bool{}
+	for len(seen) < n {
+		p, err := sub.Receive()
+		if err != nil {
+			t.Fatalf("Receive after %d/%d: %v", len(seen), n, err)
+		}
+		if p.Type != PUBLISH || len(p.Payload) != 1 {
+			t.Fatalf("unexpected packet %+v", p)
+		}
+		seen[p.Payload[0]] = true
+	}
+}
+
+// TestBrokerCloseWhileClientsActive verifies clean shutdown.
+func TestBrokerCloseWhileClientsActive(t *testing.T) {
+	b := NewBroker()
+	addr, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clients []*Client
+	for i := 0; i < 4; i++ {
+		c, err := Dial(addr, fmt.Sprintf("c%d", i), "", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with active clients")
+	}
+	for _, c := range clients {
+		c.conn.Close()
+	}
+}

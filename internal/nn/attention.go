@@ -1,0 +1,115 @@
+package nn
+
+import "math"
+
+// Attention implements the self-attention feature branch of the paper's
+// model (§IV-C uses multi-head self-attention "to make it focus on the
+// features and accelerate the fitting"). This reproduction uses a single
+// additive-attention head: token scores from a small tanh projection, a
+// softmax over positions, and an attention-weighted context vector that is
+// concatenated onto the convolutional max-pool features before the
+// fully-connected layer.
+//
+// Enable it with Config.Attention; AttnDim sizes the projection.
+
+// attnState captures the attention forward pass for backprop.
+type attnState struct {
+	u     [][]float64 // [L][A] tanh projections
+	alpha []float64   // [L] softmax weights
+	ctx   []float64   // [D] context vector
+}
+
+// attnForward computes the attention context over the embedded sequence.
+func (m *Model) attnForward(ids []int) *attnState {
+	cfg := m.Cfg
+	L, D, A := len(ids), cfg.EmbedDim, cfg.AttnDim
+	st := &attnState{
+		u:     make([][]float64, L),
+		alpha: make([]float64, L),
+		ctx:   make([]float64, D),
+	}
+	scores := make([]float64, L)
+	for t := 0; t < L; t++ {
+		embOff := ids[t] * D
+		u := make([]float64, A)
+		for a := 0; a < A; a++ {
+			s := m.AttnB[a]
+			for d := 0; d < D; d++ {
+				s += m.AttnW[a*D+d] * m.Emb[embOff+d]
+			}
+			u[a] = math.Tanh(s)
+		}
+		st.u[t] = u
+		score := 0.0
+		for a := 0; a < A; a++ {
+			score += m.AttnV[a] * u[a]
+		}
+		scores[t] = score
+	}
+	// Softmax over positions.
+	maxScore := math.Inf(-1)
+	for _, s := range scores {
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	var sum float64
+	for t, s := range scores {
+		st.alpha[t] = math.Exp(s - maxScore)
+		sum += st.alpha[t]
+	}
+	for t := range st.alpha {
+		st.alpha[t] /= sum
+	}
+	for t := 0; t < L; t++ {
+		embOff := ids[t] * D
+		for d := 0; d < D; d++ {
+			st.ctx[d] += st.alpha[t] * m.Emb[embOff+d]
+		}
+	}
+	return st
+}
+
+// attnBackward accumulates gradients of the loss w.r.t. the attention
+// parameters and the embeddings, given dctx = dL/dcontext.
+func (m *Model) attnBackward(ids []int, st *attnState, dctx []float64, g *grads) {
+	cfg := m.Cfg
+	L, D, A := len(ids), cfg.EmbedDim, cfg.AttnDim
+
+	// dalpha_t = dctx · x_t ; dx_t += alpha_t * dctx.
+	dalpha := make([]float64, L)
+	for t := 0; t < L; t++ {
+		embOff := ids[t] * D
+		var s float64
+		for d := 0; d < D; d++ {
+			s += dctx[d] * m.Emb[embOff+d]
+			g.emb[embOff+d] += st.alpha[t] * dctx[d]
+		}
+		dalpha[t] = s
+	}
+	// Softmax backward: dscore_t = alpha_t * (dalpha_t - sum_j alpha_j dalpha_j).
+	var dot float64
+	for t := 0; t < L; t++ {
+		dot += st.alpha[t] * dalpha[t]
+	}
+	for t := 0; t < L; t++ {
+		dscore := st.alpha[t] * (dalpha[t] - dot)
+		if dscore == 0 {
+			continue
+		}
+		embOff := ids[t] * D
+		for a := 0; a < A; a++ {
+			u := st.u[t][a]
+			g.attnV[a] += dscore * u
+			dpre := dscore * m.AttnV[a] * (1 - u*u) // through tanh
+			if dpre == 0 {
+				continue
+			}
+			g.attnB[a] += dpre
+			for d := 0; d < D; d++ {
+				g.attnW[a*D+d] += dpre * m.Emb[embOff+d]
+				g.emb[embOff+d] += dpre * m.AttnW[a*D+d]
+			}
+		}
+	}
+}

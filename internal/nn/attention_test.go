@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func attnModel(labels []string) *Model {
+	v := BuildVocab([][]string{{"x", "y", "z", "w", "k"}}, 1)
+	return NewModel(Config{
+		EmbedDim: 4, Filters: 3, Widths: []int{2, 3}, MaxLen: 6,
+		Attention: true, AttnDim: 3, Seed: 5,
+	}, v, labels)
+}
+
+func TestAttentionForwardShape(t *testing.T) {
+	m := attnModel([]string{"a", "b"})
+	ids := m.Vocab.IDs([]string{"x", "y", "z"}, m.Cfg.MaxLen)
+	st := m.forward(ids)
+	if len(st.pooled) != m.featDim() {
+		t.Fatalf("pooled dim = %d, want %d", len(st.pooled), m.featDim())
+	}
+	if st.attn == nil {
+		t.Fatal("attention state missing")
+	}
+	var sum float64
+	for _, a := range st.attn.alpha {
+		if a < 0 {
+			t.Fatalf("negative attention weight %v", a)
+		}
+		sum += a
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("attention weights sum to %v", sum)
+	}
+}
+
+// TestAttentionGradientCheck verifies the attention backward pass against
+// numerical differentiation for every parameter group it touches.
+func TestAttentionGradientCheck(t *testing.T) {
+	m := attnModel([]string{"a", "b"})
+	tokens := []string{"x", "y", "z", "w"}
+	ids := m.Vocab.IDs(tokens, m.Cfg.MaxLen)
+	label := 1
+
+	g := newGrads(m)
+	st := m.forward(ids)
+	m.backward(st, label, g)
+
+	lossAt := func() float64 {
+		s := m.forward(ids)
+		return -math.Log(math.Max(s.probs[label], 1e-12))
+	}
+	const eps = 1e-6
+	check := func(name string, params, grads []float64, idxs []int) {
+		for _, i := range idxs {
+			orig := params[i]
+			params[i] = orig + eps
+			up := lossAt()
+			params[i] = orig - eps
+			down := lossAt()
+			params[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-grads[i]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Errorf("%s[%d]: numeric %v vs analytic %v", name, i, numeric, grads[i])
+			}
+		}
+	}
+	check("attnW", m.AttnW, g.attnW, []int{0, 5, len(m.AttnW) - 1})
+	check("attnB", m.AttnB, g.attnB, []int{0, 1, 2})
+	check("attnV", m.AttnV, g.attnV, []int{0, 1, 2})
+	// FC weights over the attention context (tail of the feature vector).
+	tail := m.poolDim() * len(m.Labels)
+	check("fcW-ctx", m.FCW, g.fcW, []int{tail, tail + 1, len(m.FCW) - 1})
+	// Embeddings receive gradient through both conv and attention.
+	check("emb", m.Emb, g.emb, []int{ids[0]*m.Cfg.EmbedDim + 1, ids[2] * m.Cfg.EmbedDim})
+}
+
+func TestAttentionModelLearns(t *testing.T) {
+	labels := []string{"id", "secret", "none"}
+	patterns := map[int][][]string{
+		0: {{"mac", "serial", "device"}, {"uuid", "uid", "sn"}},
+		1: {{"secret", "cert", "key"}, {"private", "pem", "secret"}},
+		2: {{"uptime", "count", "retry"}, {"lang", "status", "ts"}},
+	}
+	var samples []Sample
+	var tokenized [][]string
+	for label, pats := range patterns {
+		for _, p := range pats {
+			for i := 0; i < 8; i++ {
+				toks := append([]string{}, p...)
+				toks = append(toks, []string{"buf", "msg", "json", "send"}[i%4])
+				samples = append(samples, Sample{Tokens: toks, Label: label})
+				tokenized = append(tokenized, toks)
+			}
+		}
+	}
+	v := BuildVocab(tokenized, 1)
+	m := NewModel(Config{
+		EmbedDim: 12, Filters: 6, MaxLen: 12, Epochs: 30, Seed: 3,
+		Attention: true, AttnDim: 8,
+	}, v, labels)
+	res := m.Train(samples)
+	if res.EpochLoss[len(res.EpochLoss)-1] >= res.EpochLoss[0] {
+		t.Errorf("attention model loss did not decrease: %v -> %v",
+			res.EpochLoss[0], res.EpochLoss[len(res.EpochLoss)-1])
+	}
+	acc, _ := m.Evaluate(samples)
+	if acc < 0.9 {
+		t.Errorf("attention model training accuracy = %v", acc)
+	}
+}
+
+func TestAttentionSaveLoadRoundTrip(t *testing.T) {
+	m := attnModel([]string{"a", "b"})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(loaded.AttnW) != len(m.AttnW) || !loaded.Cfg.Attention {
+		t.Error("attention parameters lost in round trip")
+	}
+	p1, _ := m.Predict([]string{"x", "y"})
+	p2, _ := loaded.Predict([]string{"x", "y"})
+	if p1 != p2 {
+		t.Error("loaded attention model predicts differently")
+	}
+}
+
+func TestAttentionDefaultDim(t *testing.T) {
+	cfg := Config{Attention: true}.withDefaults()
+	if cfg.AttnDim != 16 {
+		t.Errorf("default AttnDim = %d", cfg.AttnDim)
+	}
+	plain := Config{}.withDefaults()
+	if plain.AttnDim != 0 {
+		t.Errorf("AttnDim set without attention: %d", plain.AttnDim)
+	}
+}

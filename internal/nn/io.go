@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// modelFile is the gob-serializable snapshot of a model.
+type modelFile struct {
+	Cfg    Config
+	Words  []string
+	Labels []string
+	Emb    []float64
+	ConvW  [][]float64
+	ConvB  [][]float64
+	FCW    []float64
+	FCB    []float64
+	AttnW  []float64
+	AttnB  []float64
+	AttnV  []float64
+}
+
+// Save writes the model to w.
+func (m *Model) Save(w io.Writer) error {
+	f := modelFile{
+		Cfg: m.Cfg, Words: m.Vocab.Words, Labels: m.Labels,
+		Emb: m.Emb, ConvW: m.ConvW, ConvB: m.ConvB, FCW: m.FCW, FCB: m.FCB,
+		AttnW: m.AttnW, AttnB: m.AttnB, AttnV: m.AttnV,
+	}
+	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var f modelFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	v := &Vocab{Index: make(map[string]int, len(f.Words)), Words: f.Words}
+	for i, w := range f.Words {
+		v.Index[w] = i
+	}
+	return &Model{
+		Cfg: f.Cfg, Vocab: v, Labels: f.Labels,
+		Emb: f.Emb, ConvW: f.ConvW, ConvB: f.ConvB, FCW: f.FCW, FCB: f.FCB,
+		AttnW: f.AttnW, AttnB: f.AttnB, AttnV: f.AttnV,
+	}, nil
+}
+
+// Clone deep-copies the model (used by ablation benchmarks that perturb
+// weights).
+func (m *Model) Clone() *Model {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		panic("nn: clone save: " + err.Error())
+	}
+	c, err := Load(&buf)
+	if err != nil {
+		panic("nn: clone load: " + err.Error())
+	}
+	return c
+}

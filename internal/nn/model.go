@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config holds the model hyper-parameters. Zero values select defaults that
+// match the paper's TextCNN shape (kernel widths 2,3,4,5).
+type Config struct {
+	EmbedDim int     // token embedding dimension (default 32)
+	Filters  int     // filters per kernel width (default 24)
+	Widths   []int   // convolution widths (default 2,3,4,5)
+	MaxLen   int     // sequence length (default 64)
+	Classes  int     // number of output classes (required)
+	LR       float64 // Adam learning rate (default 1e-3)
+	Epochs   int     // training epochs (default 10)
+	Seed     int64   // PRNG seed (default 1)
+	// Attention adds the self-attention context branch (see attention.go);
+	// AttnDim sizes its projection (default 16 when enabled).
+	Attention bool
+	AttnDim   int
+}
+
+func (c Config) withDefaults() Config {
+	if c.EmbedDim == 0 {
+		c.EmbedDim = 32
+	}
+	if c.Filters == 0 {
+		c.Filters = 24
+	}
+	if len(c.Widths) == 0 {
+		c.Widths = []int{2, 3, 4, 5}
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 64
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Attention && c.AttnDim == 0 {
+		c.AttnDim = 16
+	}
+	return c
+}
+
+// Model is a trained TextCNN classifier.
+type Model struct {
+	Cfg    Config
+	Vocab  *Vocab
+	Labels []string // class names
+
+	Emb   []float64   // [vocab * embed]
+	ConvW [][]float64 // per width: [width*embed*filters]
+	ConvB [][]float64 // per width: [filters]
+	FCW   []float64   // [featDim * classes]
+	FCB   []float64   // [classes]
+
+	// Attention branch parameters (empty when Cfg.Attention is false).
+	AttnW []float64 // [attnDim * embed]
+	AttnB []float64 // [attnDim]
+	AttnV []float64 // [attnDim]
+}
+
+func (m *Model) poolDim() int { return len(m.Cfg.Widths) * m.Cfg.Filters }
+
+// featDim is the fully-connected input width: conv max-pool features plus,
+// with attention enabled, the context vector.
+func (m *Model) featDim() int {
+	n := m.poolDim()
+	if m.Cfg.Attention {
+		n += m.Cfg.EmbedDim
+	}
+	return n
+}
+
+// NewModel initializes a model with Xavier-style random weights.
+func NewModel(cfg Config, vocab *Vocab, labels []string) *Model {
+	cfg = cfg.withDefaults()
+	cfg.Classes = len(labels)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Cfg: cfg, Vocab: vocab, Labels: labels}
+	m.Emb = randSlice(rng, vocab.Size()*cfg.EmbedDim, 0.1)
+	for _, w := range cfg.Widths {
+		m.ConvW = append(m.ConvW, randSlice(rng, w*cfg.EmbedDim*cfg.Filters,
+			math.Sqrt(2.0/float64(w*cfg.EmbedDim))))
+		m.ConvB = append(m.ConvB, make([]float64, cfg.Filters))
+	}
+	if cfg.Attention {
+		m.AttnW = randSlice(rng, cfg.AttnDim*cfg.EmbedDim, math.Sqrt(2.0/float64(cfg.EmbedDim)))
+		m.AttnB = make([]float64, cfg.AttnDim)
+		m.AttnV = randSlice(rng, cfg.AttnDim, math.Sqrt(2.0/float64(cfg.AttnDim)))
+	}
+	m.FCW = randSlice(rng, m.featDim()*cfg.Classes, math.Sqrt(2.0/float64(m.featDim())))
+	m.FCB = make([]float64, cfg.Classes)
+	return m
+}
+
+func randSlice(rng *rand.Rand, n int, scale float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return out
+}
+
+// forwardState captures intermediate activations for backprop.
+type forwardState struct {
+	ids    []int
+	pooled []float64 // [featDim]: conv features, then attention context
+	argmax []int     // [poolDim] winning time position per filter
+	attn   *attnState
+	logits []float64
+	probs  []float64
+}
+
+// forward computes class probabilities for a token-ID sequence.
+func (m *Model) forward(ids []int) *forwardState {
+	cfg := m.Cfg
+	st := &forwardState{ids: ids}
+	st.pooled = make([]float64, m.featDim())
+	st.argmax = make([]int, m.poolDim())
+	L := len(ids)
+	for wi, w := range cfg.Widths {
+		W, B := m.ConvW[wi], m.ConvB[wi]
+		base := wi * cfg.Filters
+		for f := 0; f < cfg.Filters; f++ {
+			best, bestT := math.Inf(-1), -1
+			for t := 0; t+w <= L; t++ {
+				s := B[f]
+				for i := 0; i < w; i++ {
+					embOff := ids[t+i] * cfg.EmbedDim
+					wOff := (i * cfg.EmbedDim) * cfg.Filters
+					for d := 0; d < cfg.EmbedDim; d++ {
+						s += m.Emb[embOff+d] * W[wOff+d*cfg.Filters+f]
+					}
+				}
+				if s > best {
+					best, bestT = s, t
+				}
+			}
+			if bestT < 0 {
+				best = 0
+			}
+			if best < 0 {
+				best = 0 // ReLU
+			}
+			st.pooled[base+f] = best
+			st.argmax[base+f] = bestT
+		}
+	}
+	if cfg.Attention {
+		st.attn = m.attnForward(ids)
+		copy(st.pooled[m.poolDim():], st.attn.ctx)
+	}
+	st.logits = make([]float64, cfg.Classes)
+	for c := 0; c < cfg.Classes; c++ {
+		s := m.FCB[c]
+		for p := 0; p < m.featDim(); p++ {
+			s += st.pooled[p] * m.FCW[p*cfg.Classes+c]
+		}
+		st.logits[c] = s
+	}
+	st.probs = softmax(st.logits)
+	return st
+}
+
+func softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	max := math.Inf(-1)
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Predict classifies a token sequence, returning the winning class index
+// and the full probability vector.
+func (m *Model) Predict(tokens []string) (int, []float64) {
+	ids := m.Vocab.IDs(tokens, m.Cfg.MaxLen)
+	st := m.forward(ids)
+	best := 0
+	for i, p := range st.probs {
+		if p > st.probs[best] {
+			best = i
+		}
+	}
+	return best, st.probs
+}
+
+// PredictLabel classifies a token sequence and returns the label name.
+func (m *Model) PredictLabel(tokens []string) (string, float64) {
+	idx, probs := m.Predict(tokens)
+	return m.Labels[idx], probs[idx]
+}
+
+// LabelIndex returns the index of a class name.
+func (m *Model) LabelIndex(label string) (int, error) {
+	for i, l := range m.Labels {
+		if l == label {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("nn: unknown label %q", label)
+}

@@ -1,0 +1,108 @@
+// Package nn implements a pure-Go text classifier for field-semantics
+// recovery: token embeddings, parallel convolutions of widths {2,3,4,5}
+// (matching the paper's TextCNN kernel sizes), max-over-time pooling, and a
+// softmax layer, trained with Adam.
+//
+// It substitutes for the paper's BERT-TextCNN (§IV-C): the interface is the
+// same — an enriched code slice in, one of seven primitive labels out — and
+// the convolutional local-feature bias matches the TextCNN half of the
+// original. See DESIGN.md for the substitution rationale.
+package nn
+
+import "strings"
+
+// Tokenize splits enriched-slice text into classifier tokens: identifiers
+// are split on underscores, punctuation, and camelCase boundaries, and
+// lower-cased, so "cJSON_AddStringToObject" yields
+// ["c", "json", "add", "string", "to", "object"].
+func Tokenize(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	prevLower := false
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			cur.WriteRune(r)
+			prevLower = r >= 'a' && r <= 'z'
+		case r >= 'A' && r <= 'Z':
+			if prevLower {
+				flush()
+			}
+			cur.WriteRune(r)
+			prevLower = false
+		default:
+			flush()
+			prevLower = false
+			// Keep a few semantically loaded punctuation marks as tokens.
+			switch r {
+			case '=', '&', '?', '%', '/', ':', '{', '}', '"':
+				out = append(out, string(r))
+			}
+		}
+	}
+	flush()
+	return out
+}
+
+// Vocab maps tokens to embedding indexes. Index 0 is padding, index 1 is
+// the unknown token.
+type Vocab struct {
+	Index map[string]int
+	Words []string
+}
+
+// Reserved vocabulary slots.
+const (
+	PadID = 0
+	UnkID = 1
+)
+
+// BuildVocab constructs a vocabulary from tokenized samples, keeping tokens
+// with at least minCount occurrences.
+func BuildVocab(samples [][]string, minCount int) *Vocab {
+	counts := map[string]int{}
+	var order []string
+	for _, toks := range samples {
+		for _, tok := range toks {
+			if counts[tok] == 0 {
+				order = append(order, tok)
+			}
+			counts[tok]++
+		}
+	}
+	v := &Vocab{Index: map[string]int{"<pad>": PadID, "<unk>": UnkID},
+		Words: []string{"<pad>", "<unk>"}}
+	for _, tok := range order {
+		if counts[tok] >= minCount {
+			v.Index[tok] = len(v.Words)
+			v.Words = append(v.Words, tok)
+		}
+	}
+	return v
+}
+
+// Size returns the vocabulary size including reserved slots.
+func (v *Vocab) Size() int { return len(v.Words) }
+
+// IDs maps tokens to indexes, truncating/padding to maxLen.
+func (v *Vocab) IDs(tokens []string, maxLen int) []int {
+	out := make([]int, maxLen)
+	for i := 0; i < maxLen; i++ {
+		if i < len(tokens) {
+			if id, ok := v.Index[tokens[i]]; ok {
+				out[i] = id
+			} else {
+				out[i] = UnkID
+			}
+		} else {
+			out[i] = PadID
+		}
+	}
+	return out
+}

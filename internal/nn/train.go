@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sample is one labelled training example.
+type Sample struct {
+	Tokens []string
+	Label  int
+}
+
+// adam holds per-parameter-group Adam optimizer state.
+type adam struct {
+	m, v []float64
+	t    int
+	lr   float64
+}
+
+func newAdam(n int, lr float64) *adam {
+	return &adam{m: make([]float64, n), v: make([]float64, n), lr: lr}
+}
+
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+// step applies one Adam update of params given grads, then zeroes grads.
+func (a *adam) step(params, grads []float64) {
+	a.t++
+	c1 := 1 - math.Pow(adamBeta1, float64(a.t))
+	c2 := 1 - math.Pow(adamBeta2, float64(a.t))
+	for i, g := range grads {
+		if g == 0 {
+			continue
+		}
+		a.m[i] = adamBeta1*a.m[i] + (1-adamBeta1)*g
+		a.v[i] = adamBeta2*a.v[i] + (1-adamBeta2)*g*g
+		params[i] -= a.lr * (a.m[i] / c1) / (math.Sqrt(a.v[i]/c2) + adamEps)
+		grads[i] = 0
+	}
+}
+
+// grads mirrors the model's parameter groups.
+type grads struct {
+	emb   []float64
+	convW [][]float64
+	convB [][]float64
+	fcW   []float64
+	fcB   []float64
+	attnW []float64
+	attnB []float64
+	attnV []float64
+}
+
+func newGrads(m *Model) *grads {
+	g := &grads{
+		emb:   make([]float64, len(m.Emb)),
+		fcW:   make([]float64, len(m.FCW)),
+		fcB:   make([]float64, len(m.FCB)),
+		attnW: make([]float64, len(m.AttnW)),
+		attnB: make([]float64, len(m.AttnB)),
+		attnV: make([]float64, len(m.AttnV)),
+	}
+	for wi := range m.ConvW {
+		g.convW = append(g.convW, make([]float64, len(m.ConvW[wi])))
+		g.convB = append(g.convB, make([]float64, len(m.ConvB[wi])))
+	}
+	return g
+}
+
+// backward accumulates gradients of the cross-entropy loss for one example
+// into g and returns the loss.
+func (m *Model) backward(st *forwardState, label int, g *grads) float64 {
+	cfg := m.Cfg
+	loss := -math.Log(math.Max(st.probs[label], 1e-12))
+
+	// dL/dlogits = probs - onehot.
+	dlogits := make([]float64, cfg.Classes)
+	copy(dlogits, st.probs)
+	dlogits[label]--
+
+	// FC layer over the concatenated features.
+	dpool := make([]float64, m.featDim())
+	for p := 0; p < m.featDim(); p++ {
+		for c := 0; c < cfg.Classes; c++ {
+			g.fcW[p*cfg.Classes+c] += st.pooled[p] * dlogits[c]
+			dpool[p] += m.FCW[p*cfg.Classes+c] * dlogits[c]
+		}
+	}
+	for c := 0; c < cfg.Classes; c++ {
+		g.fcB[c] += dlogits[c]
+	}
+	if cfg.Attention && st.attn != nil {
+		m.attnBackward(st.ids, st.attn, dpool[m.poolDim():], g)
+	}
+
+	// Conv layers: gradient flows only through the max-pool winner, and only
+	// where ReLU passed (pooled > 0).
+	for wi, w := range cfg.Widths {
+		W := m.ConvW[wi]
+		base := wi * cfg.Filters
+		for f := 0; f < cfg.Filters; f++ {
+			d := dpool[base+f]
+			if d == 0 || st.pooled[base+f] <= 0 {
+				continue
+			}
+			t := st.argmax[base+f]
+			if t < 0 {
+				continue
+			}
+			g.convB[wi][f] += d
+			for i := 0; i < w; i++ {
+				embOff := st.ids[t+i] * cfg.EmbedDim
+				wOff := (i * cfg.EmbedDim) * cfg.Filters
+				for dd := 0; dd < cfg.EmbedDim; dd++ {
+					g.convW[wi][wOff+dd*cfg.Filters+f] += m.Emb[embOff+dd] * d
+					g.emb[embOff+dd] += W[wOff+dd*cfg.Filters+f] * d
+				}
+			}
+		}
+	}
+	return loss
+}
+
+// TrainResult reports the training trajectory.
+type TrainResult struct {
+	EpochLoss []float64
+}
+
+// Train fits the model on samples with per-example Adam updates.
+func (m *Model) Train(samples []Sample) TrainResult {
+	cfg := m.Cfg
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	g := newGrads(m)
+	optEmb := newAdam(len(m.Emb), cfg.LR)
+	optFCW := newAdam(len(m.FCW), cfg.LR)
+	optFCB := newAdam(len(m.FCB), cfg.LR)
+	var optCW, optCB []*adam
+	for wi := range m.ConvW {
+		optCW = append(optCW, newAdam(len(m.ConvW[wi]), cfg.LR))
+		optCB = append(optCB, newAdam(len(m.ConvB[wi]), cfg.LR))
+	}
+	optAW := newAdam(len(m.AttnW), cfg.LR)
+	optAB := newAdam(len(m.AttnB), cfg.LR)
+	optAV := newAdam(len(m.AttnV), cfg.LR)
+
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	var res TrainResult
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var total float64
+		for _, idx := range order {
+			s := samples[idx]
+			ids := m.Vocab.IDs(s.Tokens, cfg.MaxLen)
+			st := m.forward(ids)
+			total += m.backward(st, s.Label, g)
+			optEmb.step(m.Emb, g.emb)
+			optFCW.step(m.FCW, g.fcW)
+			optFCB.step(m.FCB, g.fcB)
+			for wi := range m.ConvW {
+				optCW[wi].step(m.ConvW[wi], g.convW[wi])
+				optCB[wi].step(m.ConvB[wi], g.convB[wi])
+			}
+			if cfg.Attention {
+				optAW.step(m.AttnW, g.attnW)
+				optAB.step(m.AttnB, g.attnB)
+				optAV.step(m.AttnV, g.attnV)
+			}
+		}
+		if len(samples) > 0 {
+			res.EpochLoss = append(res.EpochLoss, total/float64(len(samples)))
+		}
+	}
+	return res
+}
+
+// Evaluate computes accuracy and a confusion matrix over labelled samples.
+func (m *Model) Evaluate(samples []Sample) (float64, [][]int) {
+	confusion := make([][]int, m.Cfg.Classes)
+	for i := range confusion {
+		confusion[i] = make([]int, m.Cfg.Classes)
+	}
+	if len(samples) == 0 {
+		return 0, confusion
+	}
+	correct := 0
+	for _, s := range samples {
+		pred, _ := m.Predict(s.Tokens)
+		confusion[s.Label][pred]++
+		if pred == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples)), confusion
+}
+
+// SplitDataset partitions samples into train/validation/test sets with the
+// paper's 7:2:1 ratio, shuffled deterministically by seed.
+func SplitDataset(samples []Sample, seed int64) (train, val, test []Sample) {
+	rng := rand.New(rand.NewSource(seed))
+	shuffled := make([]Sample, len(samples))
+	copy(shuffled, samples)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	n := len(shuffled)
+	trainEnd := n * 7 / 10
+	valEnd := trainEnd + n*2/10
+	return shuffled[:trainEnd], shuffled[trainEnd:valEnd], shuffled[valEnd:]
+}

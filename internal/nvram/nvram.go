@@ -1,0 +1,96 @@
+// Package nvram models the non-volatile configuration storage of an IoT
+// device: NVRAM default blocks and key=value configuration files. The
+// corpus generator writes these into firmware images, the analysis pipeline
+// reads them back to resolve field sources when rendering reconstructed
+// messages, and the cloud simulator uses the same values as the expected
+// device identity.
+package nvram
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Store is an ordered key/value configuration store.
+type Store struct {
+	values map[string]string
+	keys   []string
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{values: make(map[string]string)}
+}
+
+// FromMap builds a store from a map (keys sorted for determinism).
+func FromMap(m map[string]string) *Store {
+	s := New()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.Set(k, m[k])
+	}
+	return s
+}
+
+// Set stores a value, preserving first-insertion order for serialization.
+func (s *Store) Set(key, value string) {
+	if _, exists := s.values[key]; !exists {
+		s.keys = append(s.keys, key)
+	}
+	s.values[key] = value
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key string) (string, bool) {
+	v, ok := s.values[key]
+	return v, ok
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int { return len(s.keys) }
+
+// Keys returns the keys in insertion order.
+func (s *Store) Keys() []string {
+	return append([]string(nil), s.keys...)
+}
+
+// Map copies the store into a plain map.
+func (s *Store) Map() map[string]string {
+	out := make(map[string]string, len(s.values))
+	for k, v := range s.values {
+		out[k] = v
+	}
+	return out
+}
+
+// Format serializes the store as key=value lines in insertion order.
+func (s *Store) Format() []byte {
+	var b strings.Builder
+	for _, k := range s.keys {
+		fmt.Fprintf(&b, "%s=%s\n", k, s.values[k])
+	}
+	return []byte(b.String())
+}
+
+// Parse reads key=value lines; blank lines and #-comments are skipped.
+// Malformed lines (no '=') are an error, surfacing corrupt firmware files.
+func Parse(data []byte) (*Store, error) {
+	s := New()
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("nvram: line %d: malformed entry %q", i+1, line)
+		}
+		s.Set(line[:eq], line[eq+1:])
+	}
+	return s, nil
+}

@@ -1,0 +1,116 @@
+package nvram
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGet(t *testing.T) {
+	s := New()
+	s.Set("mac", "AA:BB")
+	s.Set("sn", "123")
+	s.Set("mac", "CC:DD") // overwrite keeps position
+	if v, ok := s.Get("mac"); !ok || v != "CC:DD" {
+		t.Errorf("Get(mac) = %q, %v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Error("missing key found")
+	}
+	if got := s.Keys(); !reflect.DeepEqual(got, []string{"mac", "sn"}) {
+		t.Errorf("Keys = %v", got)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	s := New()
+	s.Set("mac", "AA:BB:CC:00:11:22")
+	s.Set("serial_number", "1102202842")
+	s.Set("cloud_host", "rms.example.com")
+	got, err := Parse(s.Format())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(got.Map(), s.Map()) {
+		t.Errorf("round trip: got %v, want %v", got.Map(), s.Map())
+	}
+	if !reflect.DeepEqual(got.Keys(), s.Keys()) {
+		t.Errorf("key order lost: %v vs %v", got.Keys(), s.Keys())
+	}
+}
+
+func TestParseSkipsCommentsAndBlank(t *testing.T) {
+	s, err := Parse([]byte("# defaults\n\nmac=AA\n  \nsn=1\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"novalue\n", "=nokey\n", "mac=ok\nbroken\n"} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseValueWithEquals(t *testing.T) {
+	s, err := Parse([]byte("token=a=b=c\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if v, _ := s.Get("token"); v != "a=b=c" {
+		t.Errorf("Get(token) = %q", v)
+	}
+}
+
+func TestFromMapDeterministic(t *testing.T) {
+	m := map[string]string{"z": "1", "a": "2", "m": "3"}
+	s1 := FromMap(m)
+	s2 := FromMap(m)
+	if !reflect.DeepEqual(s1.Keys(), s2.Keys()) {
+		t.Error("FromMap key order not deterministic")
+	}
+	if !reflect.DeepEqual(s1.Keys(), []string{"a", "m", "z"}) {
+		t.Errorf("FromMap keys = %v", s1.Keys())
+	}
+}
+
+// TestRoundTripProperty: any store with safe keys/values survives
+// Format/Parse.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(pairs map[string]string) bool {
+		s := New()
+		for k, v := range pairs {
+			if k == "" || strings1(k) || strings1(v) {
+				continue
+			}
+			s.Set(k, v)
+		}
+		got, err := Parse(s.Format())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Map(), s.Map())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// strings1 reports whether the string contains characters the line format
+// cannot carry (newlines, leading '#', '=' in keys).
+func strings1(s string) bool {
+	for _, r := range s {
+		if r == '\n' || r == '\r' || r == '=' || r == '#' || r == ' ' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,243 @@
+package pcode
+
+import (
+	"fmt"
+
+	"firmres/internal/binfmt"
+	"firmres/internal/externs"
+	"firmres/internal/isa"
+)
+
+// Function is the lifted P-Code listing of one machine function.
+type Function struct {
+	Sym    binfmt.FuncSym
+	Ops    []Op
+	opIdx  map[uint32]int // machine address -> index of first op at that address
+	nextID uint64         // unique-space allocator state
+}
+
+// Name returns the function's symbol name.
+func (f *Function) Name() string { return f.Sym.Name }
+
+// Addr returns the function's entry address.
+func (f *Function) Addr() uint32 { return f.Sym.Addr }
+
+// OpsAt returns the slice of ops lifted from the machine instruction at addr.
+func (f *Function) OpsAt(addr uint32) []Op {
+	start, ok := f.opIdx[addr]
+	if !ok {
+		return nil
+	}
+	end := start
+	for end < len(f.Ops) && f.Ops[end].Addr == addr {
+		end++
+	}
+	return f.Ops[start:end]
+}
+
+// OpIndexAt returns the index of the first op at a machine address.
+func (f *Function) OpIndexAt(addr uint32) (int, bool) {
+	i, ok := f.opIdx[addr]
+	return i, ok
+}
+
+// Params returns the varnodes holding the function's incoming parameters
+// (registers R1..R<arity> by convention).
+func (f *Function) Params() []Varnode {
+	out := make([]Varnode, 0, f.Sym.NumParams)
+	for i := 0; i < f.Sym.NumParams; i++ {
+		out = append(out, Register(isa.ArgReg(i)))
+	}
+	return out
+}
+
+func (f *Function) unique() Varnode {
+	f.nextID++
+	return Varnode{Space: SpaceUnique, Offset: f.nextID, Size: 4}
+}
+
+// Lift translates the machine code of fn into P-Code.
+func Lift(bin *binfmt.Binary, fn binfmt.FuncSym) (*Function, error) {
+	if fn.Size == 0 || fn.End() > bin.TextBase+uint32(len(bin.Text)) {
+		return nil, fmt.Errorf("pcode: function %q out of range", fn.Name)
+	}
+	body := bin.Text[fn.Addr-bin.TextBase : fn.End()-bin.TextBase]
+	instrs, err := isa.DecodeAll(body)
+	if err != nil {
+		return nil, fmt.Errorf("pcode: lifting %q: %w", fn.Name, err)
+	}
+	f := &Function{Sym: fn, opIdx: make(map[uint32]int, len(instrs))}
+	for i, in := range instrs {
+		addr := fn.Addr + uint32(i*isa.InstrSize)
+		f.opIdx[addr] = len(f.Ops)
+		if err := f.liftInstr(bin, addr, in); err != nil {
+			return nil, fmt.Errorf("pcode: lifting %q at %#x: %w", fn.Name, addr, err)
+		}
+	}
+	return f, nil
+}
+
+// emit appends an op, stamping address and sequence number.
+func (f *Function) emit(addr uint32, op Op) {
+	op.Addr = addr
+	// Sequence number within the instruction expansion.
+	if n := len(f.Ops); n > 0 && f.Ops[n-1].Addr == addr {
+		op.Seq = f.Ops[n-1].Seq + 1
+	}
+	f.Ops = append(f.Ops, op)
+}
+
+func (f *Function) liftInstr(bin *binfmt.Binary, addr uint32, in isa.Instruction) error {
+	rd := Register(in.Rd)
+	rs1 := Register(in.Rs1)
+	rs2 := Register(in.Rs2)
+
+	binop := func(code OpCode) {
+		f.emit(addr, Op{Code: code, Output: rd, HasOut: true, Inputs: []Varnode{rs1, rs2}})
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+		// No P-Code emitted; keep an index entry via a COPY of R0 to itself?
+		// Ghidra emits nothing for NOPs; the CFG layer handles empty slots.
+		return nil
+
+	case isa.OpLI, isa.OpLA:
+		f.emit(addr, Op{Code: COPY, Output: rd, HasOut: true,
+			Inputs: []Varnode{Constant(uint64(uint32(in.Imm)), 4)}})
+
+	case isa.OpMov:
+		f.emit(addr, Op{Code: COPY, Output: rd, HasOut: true, Inputs: []Varnode{rs1}})
+
+	case isa.OpAdd:
+		binop(INT_ADD)
+	case isa.OpSub:
+		binop(INT_SUB)
+	case isa.OpMul:
+		binop(INT_MULT)
+	case isa.OpDiv:
+		binop(INT_DIV)
+	case isa.OpAnd:
+		binop(INT_AND)
+	case isa.OpOr:
+		binop(INT_OR)
+	case isa.OpXor:
+		binop(INT_XOR)
+	case isa.OpShl:
+		binop(INT_LEFT)
+	case isa.OpShr:
+		binop(INT_RIGHT)
+
+	case isa.OpAddI:
+		f.emit(addr, Op{Code: INT_ADD, Output: rd, HasOut: true,
+			Inputs: []Varnode{rs1, Constant(uint64(uint32(in.Imm)), 4)}})
+
+	case isa.OpLW, isa.OpLB:
+		size := uint8(4)
+		if in.Op == isa.OpLB {
+			size = 1
+		}
+		ea := f.unique()
+		f.emit(addr, Op{Code: INT_ADD, Output: ea, HasOut: true,
+			Inputs: []Varnode{rs1, Constant(uint64(uint32(in.Imm)), 4)}})
+		dst := rd
+		dst.Size = size
+		f.emit(addr, Op{Code: LOAD, Output: dst, HasOut: true, Inputs: []Varnode{ea}})
+
+	case isa.OpSW, isa.OpSB:
+		size := uint8(4)
+		if in.Op == isa.OpSB {
+			size = 1
+		}
+		ea := f.unique()
+		f.emit(addr, Op{Code: INT_ADD, Output: ea, HasOut: true,
+			Inputs: []Varnode{rs1, Constant(uint64(uint32(in.Imm)), 4)}})
+		src := rs2
+		src.Size = size
+		f.emit(addr, Op{Code: STORE, Inputs: []Varnode{ea, src}})
+
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		target := Constant(uint64(uint32(in.Imm)), 4)
+		pred := f.unique()
+		pred.Size = 1
+		switch in.Op {
+		case isa.OpBeq:
+			f.emit(addr, Op{Code: INT_EQUAL, Output: pred, HasOut: true, Inputs: []Varnode{rs1, rs2}})
+		case isa.OpBne:
+			f.emit(addr, Op{Code: INT_NOTEQUAL, Output: pred, HasOut: true, Inputs: []Varnode{rs1, rs2}})
+		case isa.OpBlt:
+			f.emit(addr, Op{Code: INT_SLESS, Output: pred, HasOut: true, Inputs: []Varnode{rs1, rs2}})
+		case isa.OpBge:
+			lt := f.unique()
+			lt.Size = 1
+			f.emit(addr, Op{Code: INT_SLESS, Output: lt, HasOut: true, Inputs: []Varnode{rs1, rs2}})
+			f.emit(addr, Op{Code: BOOL_NEGATE, Output: pred, HasOut: true, Inputs: []Varnode{lt}})
+		}
+		f.emit(addr, Op{Code: CBRANCH, Inputs: []Varnode{target, pred}})
+
+	case isa.OpJmp:
+		f.emit(addr, Op{Code: BRANCH,
+			Inputs: []Varnode{Constant(uint64(uint32(in.Imm)), 4)}})
+
+	case isa.OpCall:
+		callee, ok := bin.FuncAt(uint32(in.Imm))
+		if !ok {
+			return fmt.Errorf("call to unmapped address %#x", uint32(in.Imm))
+		}
+		f.emitCall(addr, &CallTarget{
+			Kind: CallLocal, Addr: callee.Addr, Name: callee.Name,
+			Arity: callee.NumParams, HasResult: callee.HasResult,
+		})
+
+	case isa.OpCallI:
+		idx := int(in.Imm)
+		if idx < 0 || idx >= len(bin.Imports) {
+			return fmt.Errorf("import index %d out of range", idx)
+		}
+		imp := bin.Imports[idx]
+		arity := int(in.Rs1)
+		if imp.NumParams != externs.Variadic {
+			arity = imp.NumParams
+		}
+		f.emitCall(addr, &CallTarget{
+			Kind: CallImported, Import: idx, Name: imp.Name,
+			Arity: arity, HasResult: imp.HasResult,
+		})
+
+	case isa.OpCallR:
+		arity := int(in.Rd)
+		ct := &CallTarget{Kind: CallIndirect, Arity: arity, HasResult: true}
+		inputs := []Varnode{rs1}
+		for i := 0; i < arity; i++ {
+			inputs = append(inputs, Register(isa.ArgReg(i)))
+		}
+		f.emit(addr, Op{Code: CALLIND, Output: Register(isa.R1), HasOut: true,
+			Inputs: inputs, Call: ct})
+
+	case isa.OpRet:
+		var inputs []Varnode
+		if f.Sym.HasResult {
+			inputs = append(inputs, Register(isa.R1))
+		}
+		f.emit(addr, Op{Code: RETURN, Inputs: inputs})
+
+	default:
+		return fmt.Errorf("unsupported opcode %s", in.Op)
+	}
+	return nil
+}
+
+// emitCall materializes a CALL op with argument registers as inputs and R1
+// as output when the callee produces a result.
+func (f *Function) emitCall(addr uint32, ct *CallTarget) {
+	inputs := make([]Varnode, 0, ct.Arity)
+	for i := 0; i < ct.Arity && i < isa.NumArgRegs; i++ {
+		inputs = append(inputs, Register(isa.ArgReg(i)))
+	}
+	op := Op{Code: CALL, Inputs: inputs, Call: ct}
+	if ct.HasResult {
+		op.Output = Register(isa.R1)
+		op.HasOut = true
+	}
+	f.emit(addr, op)
+}

@@ -1,0 +1,84 @@
+package pcode
+
+import (
+	"fmt"
+	"sort"
+
+	"firmres/internal/binfmt"
+)
+
+// Program is the fully-lifted P-Code view of one binary: every function's
+// listing plus whole-program callsite indexes. It is the unit of analysis
+// for the call graph, the handler identification, and the taint engine.
+type Program struct {
+	Bin    *binfmt.Binary
+	Funcs  []*Function
+	byAddr map[uint32]*Function
+	byName map[string]*Function
+}
+
+// LiftProgram lifts every function symbol of the binary.
+func LiftProgram(bin *binfmt.Binary) (*Program, error) {
+	p := &Program{
+		Bin:    bin,
+		byAddr: make(map[uint32]*Function, len(bin.Funcs)),
+		byName: make(map[string]*Function, len(bin.Funcs)),
+	}
+	for _, sym := range bin.Funcs {
+		f, err := Lift(bin, sym)
+		if err != nil {
+			return nil, fmt.Errorf("pcode: program %q: %w", bin.Name, err)
+		}
+		p.Funcs = append(p.Funcs, f)
+		p.byAddr[sym.Addr] = f
+		p.byName[sym.Name] = f
+	}
+	sort.Slice(p.Funcs, func(i, j int) bool { return p.Funcs[i].Addr() < p.Funcs[j].Addr() })
+	return p, nil
+}
+
+// FuncAt returns the lifted function whose entry is addr.
+func (p *Program) FuncAt(addr uint32) (*Function, bool) {
+	f, ok := p.byAddr[addr]
+	return f, ok
+}
+
+// FuncByName returns the lifted function with the given symbol name.
+func (p *Program) FuncByName(name string) (*Function, bool) {
+	f, ok := p.byName[name]
+	return f, ok
+}
+
+// CallSite is one CALL/CALLIND op located within a function.
+type CallSite struct {
+	Fn    *Function
+	OpIdx int // index into Fn.Ops
+}
+
+// Op returns the callsite's operation.
+func (cs CallSite) Op() *Op { return &cs.Fn.Ops[cs.OpIdx] }
+
+// CallSites returns every callsite in the program, in function/op order.
+func (p *Program) CallSites() []CallSite {
+	var out []CallSite
+	for _, f := range p.Funcs {
+		for i := range f.Ops {
+			if f.Ops[i].Code == CALL || f.Ops[i].Code == CALLIND {
+				out = append(out, CallSite{Fn: f, OpIdx: i})
+			}
+		}
+	}
+	return out
+}
+
+// CallSitesTo returns callsites whose resolved callee name matches name
+// (local or imported).
+func (p *Program) CallSitesTo(name string) []CallSite {
+	var out []CallSite
+	for _, cs := range p.CallSites() {
+		if c := cs.Op().Call; c != nil && c.Name == name {
+			out = append(out, cs)
+		}
+	}
+	return out
+}

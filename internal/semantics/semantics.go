@@ -1,0 +1,449 @@
+// Package semantics recovers message-field semantics from code slices
+// (paper §IV-C): each slice's P-Code steps are enriched with symbol and
+// constant information into the (Datatype, Name/Constant, NodeID) form,
+// then classified into one of seven labels — the five access-control
+// primitives of §II-B plus Address and None.
+//
+// Two classifiers are provided: a keyword-dictionary classifier (the
+// labelling heuristic the paper used to bootstrap its dataset) and a
+// learned TextCNN classifier (the substitute for the paper's BERT-TextCNN;
+// see DESIGN.md).
+package semantics
+
+import (
+	"fmt"
+	"strings"
+
+	"firmres/internal/binfmt"
+	"firmres/internal/cfg"
+	"firmres/internal/dataflow"
+	"firmres/internal/nn"
+	"firmres/internal/pcode"
+	"firmres/internal/slices"
+	"firmres/internal/taint"
+)
+
+// The seven output labels (§IV-C "Network Training").
+const (
+	LabelDevIdentifier = "Dev-Identifier"
+	LabelDevSecret     = "Dev-Secret"
+	LabelUserCred      = "User-Cred"
+	LabelBindToken     = "Bind-Token"
+	LabelSignature     = "Signature"
+	LabelAddress       = "Address"
+	LabelNone          = "None"
+)
+
+// Labels lists all classes in canonical order.
+var Labels = []string{
+	LabelDevIdentifier, LabelDevSecret, LabelUserCred,
+	LabelBindToken, LabelSignature, LabelAddress, LabelNone,
+}
+
+// LabelIndex returns a label's position in Labels, or -1.
+func LabelIndex(label string) int {
+	for i, l := range Labels {
+		if l == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// EnrichOp renders one P-Code op in the semantic-enriched representation of
+// §IV-C: operator name followed by (Datatype, Name/Constant, NodeID)
+// operand tuples resolved against the binary's symbol information.
+func EnrichOp(bin *binfmt.Binary, fn *pcode.Function, op *pcode.Op) string {
+	var b strings.Builder
+	b.WriteString(op.Code.String())
+	if op.Call != nil && op.Call.Name != "" {
+		fmt.Fprintf(&b, " (Fun, %s)", op.Call.Name)
+	}
+	if op.HasOut {
+		b.WriteString(" ")
+		b.WriteString(enrichVarnode(bin, fn, op.Output))
+		b.WriteString(" =")
+	}
+	for i, in := range op.Inputs {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(" ")
+		b.WriteString(enrichVarnode(bin, fn, in))
+	}
+	return b.String()
+}
+
+// enrichVarnode renders a single operand tuple.
+func enrichVarnode(bin *binfmt.Binary, fn *pcode.Function, v pcode.Varnode) string {
+	switch v.Space {
+	case pcode.SpaceConst:
+		addr := uint32(v.Offset)
+		if bin.InData(addr) {
+			if s, ok := bin.StringAt(addr); ok {
+				return fmt.Sprintf("(Cons, %q)", s)
+			}
+			if sym, ok := bin.DataSymAt(addr); ok && sym.Name != "" {
+				return fmt.Sprintf("(DataPtr, %s, v%x)", sym.Name, sym.Addr)
+			}
+			return fmt.Sprintf("(DataPtr, data_%x, v%x)", addr, addr)
+		}
+		return fmt.Sprintf("(Cons, %#x)", v.Offset)
+	case pcode.SpaceReg:
+		r, _ := v.Reg()
+		if lv, ok := bin.VarName(fn.Addr(), r); ok {
+			kind := "Local"
+			if lv.Kind == binfmt.VarParam {
+				kind = "Param"
+			}
+			return fmt.Sprintf("(%s, %s, v%x_%d)", kind, lv.Name, fn.Addr(), r)
+		}
+		return fmt.Sprintf("(Local, %s, v%x_%d)", r, fn.Addr(), r)
+	case pcode.SpaceUnique:
+		return fmt.Sprintf("(Local, tmp_%x, u%x)", v.Offset, v.Offset)
+	default:
+		return fmt.Sprintf("(DataPtr, ram_%x, r%x)", v.Offset, v.Offset)
+	}
+}
+
+// Enricher renders ops with decompiler-style argument folding: a callsite
+// argument register whose reaching definition is a copy of a named variable
+// or a constant is rendered as that variable or constant, the way Ghidra's
+// decompiler presents callsites.
+type Enricher struct {
+	bin *binfmt.Binary
+	dus map[uint32]*dataflow.DefUse
+	ops map[opKey]string // rendered-op cache: slices share construction steps
+}
+
+type opKey struct {
+	fnAddr uint32
+	opIdx  int
+}
+
+// NewEnricher builds an enricher for one binary.
+func NewEnricher(bin *binfmt.Binary) *Enricher {
+	return &Enricher{
+		bin: bin,
+		dus: make(map[uint32]*dataflow.DefUse),
+		ops: make(map[opKey]string),
+	}
+}
+
+func (e *Enricher) du(fn *pcode.Function) *dataflow.DefUse {
+	if d, ok := e.dus[fn.Addr()]; ok {
+		return d
+	}
+	d := dataflow.New(fn, cfg.Build(fn))
+	e.dus[fn.Addr()] = d
+	return d
+}
+
+// Op renders the op at opIdx within fn, folding callsite arguments.
+// Renderings are cached: the slices of one message share most steps.
+func (e *Enricher) Op(fn *pcode.Function, opIdx int) string {
+	key := opKey{fn.Addr(), opIdx}
+	if s, ok := e.ops[key]; ok {
+		return s
+	}
+	s := e.renderOp(fn, opIdx)
+	e.ops[key] = s
+	return s
+}
+
+func (e *Enricher) renderOp(fn *pcode.Function, opIdx int) string {
+	op := &fn.Ops[opIdx]
+	var b strings.Builder
+	b.WriteString(op.Code.String())
+	if op.Call != nil && op.Call.Name != "" {
+		fmt.Fprintf(&b, " (Fun, %s)", op.Call.Name)
+	}
+	if op.HasOut {
+		b.WriteString(" ")
+		b.WriteString(enrichVarnode(e.bin, fn, op.Output))
+		b.WriteString(" =")
+	}
+	for i, in := range op.Inputs {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(" ")
+		b.WriteString(e.foldOperand(fn, opIdx, in))
+	}
+	return b.String()
+}
+
+// foldOperand resolves an operand through single-copy reaching definitions
+// to its named or constant source before rendering.
+func (e *Enricher) foldOperand(fn *pcode.Function, opIdx int, v pcode.Varnode) string {
+	cur := v
+	for hop := 0; hop < 8; hop++ {
+		if cur.IsConst() {
+			break
+		}
+		if r, ok := cur.Reg(); ok {
+			if _, named := e.bin.VarName(fn.Addr(), r); named {
+				break
+			}
+		}
+		defs := e.du(fn).ReachingDefs(opIdx, cur)
+		if len(defs) != 1 {
+			break
+		}
+		def := &fn.Ops[defs[0]]
+		if def.Code != pcode.COPY || len(def.Inputs) != 1 {
+			break
+		}
+		cur = def.Inputs[0]
+		opIdx = defs[0]
+	}
+	return enrichVarnode(e.bin, fn, cur)
+}
+
+// Slice renders the full enriched code context of a slice: the key hint,
+// the leaf source description, then every step op in order. This is the
+// text fed to the classifiers. Field-local signal comes first because
+// classifier inputs are truncated to a fixed token length and the key hint
+// and source description are the most discriminative part of the context.
+func (e *Enricher) Slice(s slices.Slice) string {
+	var b strings.Builder
+	if s.KeyHint != "" {
+		fmt.Fprintf(&b, "KEY %s ; ", s.KeyHint)
+	}
+	if s.Leaf != nil {
+		leaf := s.Leaf.Orig
+		fmt.Fprintf(&b, "SRC %s", leaf.Kind)
+		if leaf.Key != "" {
+			fmt.Fprintf(&b, " %s", leaf.Key)
+		}
+		if leaf.Kind == taint.LeafString {
+			fmt.Fprintf(&b, " %q", leaf.StrVal)
+		}
+		b.WriteString(" ; ")
+	}
+	for _, step := range s.Steps {
+		if step.OpIdx < 0 || step.OpIdx >= len(step.Fn.Ops) {
+			continue
+		}
+		b.WriteString(e.Op(step.Fn, step.OpIdx))
+		b.WriteString(" ; ")
+	}
+	return b.String()
+}
+
+// EnrichSlice renders a slice's enriched context with a fresh enricher.
+// Pipelines that enrich many slices of one binary should reuse an Enricher
+// (its def-use solutions are cached per function).
+func EnrichSlice(s slices.Slice) string {
+	return NewEnricher(s.MFT.Prog.Bin).Slice(s)
+}
+
+// Tokens tokenizes the enriched representation of a slice.
+func Tokens(s slices.Slice) []string {
+	return nn.Tokenize(EnrichSlice(s))
+}
+
+// enricherPool caches one Enricher per binary for a classifier instance.
+type enricherPool struct {
+	cache map[*binfmt.Binary]*Enricher
+}
+
+func (p *enricherPool) forSlice(s slices.Slice) *Enricher {
+	if p.cache == nil {
+		p.cache = make(map[*binfmt.Binary]*Enricher)
+	}
+	bin := s.MFT.Prog.Bin
+	e, ok := p.cache[bin]
+	if !ok {
+		e = NewEnricher(bin)
+		p.cache[bin] = e
+	}
+	return e
+}
+
+// tokens tokenizes a slice reusing the pool's enricher.
+func (p *enricherPool) tokens(s slices.Slice) []string {
+	return nn.Tokenize(p.forSlice(s).Slice(s))
+}
+
+// Classifier assigns one of the seven labels to a slice.
+type Classifier interface {
+	Classify(s slices.Slice) (label string, confidence float64)
+}
+
+// KeywordClassifier is the dictionary heuristic of §V-C ("we define a
+// simple dictionary for each primitive for regular matching of keywords").
+// The zero value is ready to use; it caches enrichment state per binary.
+type KeywordClassifier struct {
+	pool enricherPool
+}
+
+var _ Classifier = (*KeywordClassifier)(nil)
+
+// keywordDict maps each primitive to its token dictionary. Tokens are
+// matched against the nn.Tokenize output of the enriched slice.
+var keywordDict = map[string][]string{
+	LabelDevIdentifier: {
+		"mac", "serial", "sn", "deviceid", "devid", "uuid", "uid",
+		"modelid", "productid", "imei", "did", "devname", "hardware",
+	},
+	LabelDevSecret: {
+		"secret", "devicekey", "cert", "certificate", "private",
+		"pem", "devkey", "psk",
+	},
+	LabelUserCred: {
+		"username", "password", "passwd", "account", "login",
+		"cloudusername", "cloudpassword", "email", "user",
+	},
+	LabelBindToken: {
+		"token", "session", "bindtoken", "accesskey", "ticket",
+		"accesstoken", "bind",
+	},
+	LabelSignature: {
+		"sign", "signature", "hmac", "digest", "sha256", "md5",
+		"nonce", "tmpsecret",
+	},
+	LabelAddress: {
+		"host", "url", "server", "addr", "ip", "domain", "endpoint",
+		"broker",
+	},
+}
+
+// dictPriority resolves score ties: more specific primitives win.
+var dictPriority = []string{
+	LabelSignature, LabelDevSecret, LabelBindToken, LabelUserCred,
+	LabelDevIdentifier, LabelAddress,
+}
+
+// Classify scores dictionary hits over the slice context. Field-local
+// context (the key hint and the leaf source) is weighted above the shared
+// slice context, because a multi-field construction step (one sprintf
+// formatting several fields) bleeds every field's identifiers into every
+// slice.
+func (c *KeywordClassifier) Classify(s slices.Slice) (string, float64) {
+	scores := map[string]float64{}
+	scoreInto(scores, c.pool.tokens(s), 1)
+	scoreInto(scores, nn.Tokenize(s.KeyHint), 3)
+	if s.Leaf != nil {
+		leaf := s.Leaf.Orig
+		scoreInto(scores, nn.Tokenize(leaf.Key), 3)
+		if leaf.Kind == taint.LeafString {
+			scoreInto(scores, nn.Tokenize(leaf.StrVal), 3)
+		}
+	}
+	// A key-derivation call on the construction path dominates the source
+	// vocabulary: hmac(device_secret, ...) builds a Signature, not a
+	// Dev-Secret (the learned model picks this up from the code context).
+	if sliceHasCryptoStep(s) {
+		scores[LabelSignature] += 5
+	}
+	return pickLabel(scores)
+}
+
+// sliceHasCryptoStep reports whether the slice's path runs through a
+// signing/derivation call.
+func sliceHasCryptoStep(s slices.Slice) bool {
+	for _, step := range s.Steps {
+		if step.OpIdx < 0 || step.OpIdx >= len(step.Fn.Ops) {
+			continue
+		}
+		op := &step.Fn.Ops[step.OpIdx]
+		if op.Call == nil {
+			continue
+		}
+		switch op.Call.Name {
+		case "hmac_sha256", "sha256", "md5", "aes_encrypt":
+			return true
+		}
+	}
+	return false
+}
+
+// ClassifyTokens applies the keyword dictionaries to a flat token sequence.
+func ClassifyTokens(tokens []string) (string, float64) {
+	scores := map[string]float64{}
+	scoreInto(scores, tokens, 1)
+	return pickLabel(scores)
+}
+
+// scoreInto adds weighted dictionary hits for a token sequence.
+func scoreInto(scores map[string]float64, tokens []string, weight float64) {
+	present := make(map[string]bool, len(tokens)*2)
+	for _, t := range tokens {
+		present[t] = true
+	}
+	// Compound tokens: "device"+"id" behaves like "deviceid".
+	for i := 0; i+1 < len(tokens); i++ {
+		present[tokens[i]+tokens[i+1]] = true
+	}
+	for _, label := range dictPriority {
+		for _, kw := range keywordDict[label] {
+			if present[kw] {
+				scores[label] += weight
+			}
+		}
+	}
+}
+
+// minEvidence is the score a label needs before it beats None: a single
+// weight-1 hit from shared slice context (a neighbouring field's keyword
+// bleeding through a multi-field construction step) is not enough.
+const minEvidence = 2
+
+// pickLabel selects the best-scoring label, resolving ties by specificity.
+func pickLabel(scores map[string]float64) (string, float64) {
+	best, bestScore := LabelNone, 0.0
+	for _, label := range dictPriority {
+		if scores[label] > bestScore {
+			best, bestScore = label, scores[label]
+		}
+	}
+	if bestScore < minEvidence {
+		return LabelNone, 1
+	}
+	return best, bestScore / (bestScore + 1)
+}
+
+// ModelClassifier wraps a trained TextCNN.
+type ModelClassifier struct {
+	Model *nn.Model
+	pool  enricherPool
+}
+
+var _ Classifier = (*ModelClassifier)(nil)
+
+// Classify runs the model over the slice's enriched tokens.
+func (c *ModelClassifier) Classify(s slices.Slice) (string, float64) {
+	return c.Model.PredictLabel(c.pool.tokens(s))
+}
+
+// Example is one labelled slice for training.
+type Example struct {
+	Tokens []string
+	Label  string
+}
+
+// TrainModel fits a TextCNN on labelled examples, returning the model and
+// the validation/test accuracy under the paper's 7:2:1 split.
+func TrainModel(examples []Example, cfg nn.Config) (*nn.Model, float64, float64, error) {
+	if len(examples) == 0 {
+		return nil, 0, 0, fmt.Errorf("semantics: no training examples")
+	}
+	samples := make([]nn.Sample, 0, len(examples))
+	var tokenized [][]string
+	for _, ex := range examples {
+		idx := LabelIndex(ex.Label)
+		if idx < 0 {
+			return nil, 0, 0, fmt.Errorf("semantics: unknown label %q", ex.Label)
+		}
+		samples = append(samples, nn.Sample{Tokens: ex.Tokens, Label: idx})
+		tokenized = append(tokenized, ex.Tokens)
+	}
+	train, val, test := nn.SplitDataset(samples, cfg.Seed+101)
+	vocab := nn.BuildVocab(tokenized, 1)
+	model := nn.NewModel(cfg, vocab, Labels)
+	model.Train(train)
+	valAcc, _ := model.Evaluate(val)
+	testAcc, _ := model.Evaluate(test)
+	return model, valAcc, testAcc, nil
+}

@@ -1,0 +1,185 @@
+package taint
+
+import (
+	"testing"
+
+	"firmres/internal/asm"
+	"firmres/internal/isa"
+)
+
+// TestCurlChannel exercises the curl idiom: a handle from curl_easy_init
+// accumulates request content through curl_setopt and is delivered by
+// curl_easy_perform.
+func TestCurlChannel(t *testing.T) {
+	a := asm.New("t")
+	f := a.Func("upload", 0, true)
+	f.CallImport("curl_easy_init", 0)
+	f.Mov(isa.R9, isa.R1) // handle
+	f.Mov(isa.R1, isa.R9)
+	f.LI(isa.R2, 10002) // CURLOPT_URL
+	f.LAStr(isa.R3, "https://cloud.example.com/upload")
+	f.CallImport("curl_setopt", 3)
+	f.Mov(isa.R1, isa.R9)
+	f.LI(isa.R2, 10015) // CURLOPT_POSTFIELDS
+	f.LAStr(isa.R1, "serial_number")
+	f.CallImport("nvram_get", 1)
+	f.Mov(isa.R3, isa.R1)
+	f.Mov(isa.R1, isa.R9)
+	f.CallImport("curl_setopt", 3)
+	f.Mov(isa.R1, isa.R9)
+	f.CallImport("curl_easy_perform", 1)
+	f.Ret()
+
+	mfts := analyze(t, a)
+	if len(mfts) != 1 {
+		t.Fatalf("got %d MFTs", len(mfts))
+	}
+	leaves := leafSummary(mfts[0])
+	if !contains(leaves, "str:https://cloud.example.com/upload") {
+		t.Errorf("curl URL option missing: %v", leaves)
+	}
+	if !contains(leaves, "nvram:serial_number") {
+		t.Errorf("curl POST field missing: %v", leaves)
+	}
+}
+
+// TestSnprintfChannel: snprintf's format sits at argument 2 (after the
+// size), and its value tail starts at argument 3.
+func TestSnprintfChannel(t *testing.T) {
+	a := asm.New("t")
+	buf := a.Bytes("msg", make([]byte, 64))
+	f := a.Func("f", 0, true)
+	f.LAStr(isa.R1, "uid")
+	f.CallImport("nvram_get", 1)
+	f.Mov(isa.R9, isa.R1)
+	f.LA(isa.R1, buf)
+	f.LI(isa.R2, 64)
+	f.LAStr(isa.R3, "uid=%s")
+	f.Mov(isa.R4, isa.R9)
+	f.CallImport("snprintf", 4)
+	f.Mov(isa.R2, isa.R1)
+	f.LI(isa.R1, 5)
+	f.LI(isa.R3, 16)
+	f.CallImport("SSL_write", 3)
+	f.Ret()
+
+	m := analyze(t, a)[0]
+	leaves := leafSummary(m)
+	if !contains(leaves, "str:uid=%s") || !contains(leaves, "nvram:uid") {
+		t.Errorf("snprintf channel leaves = %v", leaves)
+	}
+	var format string
+	m.Root.Walk(func(n *Node) {
+		if n.Kind == NodeCall && n.Callee == "snprintf" {
+			format = n.Format
+		}
+	})
+	if format != "uid=%s" {
+		t.Errorf("snprintf format = %q", format)
+	}
+}
+
+// TestNestedJSONObjects: cJSON_AddItemToObject attaches a sub-object whose
+// own additions must appear in the tree.
+func TestNestedJSONObjects(t *testing.T) {
+	a := asm.New("t")
+	f := a.Func("report", 0, true)
+	// inner = {"mac": nvram(mac)}
+	f.CallImport("cJSON_CreateObject", 0)
+	f.Mov(isa.R10, isa.R1)
+	f.LAStr(isa.R1, "mac")
+	f.CallImport("nvram_get", 1)
+	f.Mov(isa.R3, isa.R1)
+	f.Mov(isa.R1, isa.R10)
+	f.LAStr(isa.R2, "mac")
+	f.CallImport("cJSON_AddStringToObject", 3)
+	// outer = {"status":"up", "device": inner}
+	f.CallImport("cJSON_CreateObject", 0)
+	f.Mov(isa.R9, isa.R1)
+	f.Mov(isa.R1, isa.R9)
+	f.LAStr(isa.R2, "status")
+	f.LAStr(isa.R3, "up")
+	f.CallImport("cJSON_AddStringToObject", 3)
+	f.Mov(isa.R1, isa.R9)
+	f.LAStr(isa.R2, "device")
+	f.Mov(isa.R3, isa.R10)
+	f.CallImport("cJSON_AddItemToObject", 3)
+	f.Mov(isa.R1, isa.R9)
+	f.CallImport("cJSON_PrintUnformatted", 1)
+	f.Mov(isa.R2, isa.R1)
+	f.LI(isa.R1, 5)
+	f.LI(isa.R3, 64)
+	f.CallImport("SSL_write", 3)
+	f.Ret()
+
+	m := analyze(t, a)[0]
+	leaves := leafSummary(m)
+	if !contains(leaves, "nvram:mac") {
+		t.Errorf("nested object value missing: %v", leaves)
+	}
+	if !contains(leaves, "str:up") {
+		t.Errorf("outer value missing: %v", leaves)
+	}
+	// The nested structure must carry both keys.
+	keys := map[string]bool{}
+	m.Root.Walk(func(n *Node) {
+		if n.Key != "" {
+			keys[n.Key] = true
+		}
+	})
+	for _, want := range []string{"mac", "status", "device"} {
+		if !keys[want] {
+			t.Errorf("JSON keys = %v, missing %q", keys, want)
+		}
+	}
+}
+
+// TestMemcpyAndStrncpyChannels: bounded copies propagate like their
+// unbounded cousins.
+func TestMemcpyAndStrncpyChannels(t *testing.T) {
+	a := asm.New("t")
+	buf := a.Bytes("msg", make([]byte, 64))
+	f := a.Func("f", 0, true)
+	f.LA(isa.R1, buf)
+	f.LAStr(isa.R2, "base")
+	f.LI(isa.R3, 4)
+	f.CallImport("strncpy", 3)
+	f.LA(isa.R1, buf)
+	f.LAStr(isa.R2, "-tail")
+	f.LI(isa.R3, 5)
+	f.CallImport("strncat", 3)
+	f.LI(isa.R1, 3)
+	f.LA(isa.R2, buf)
+	f.LI(isa.R3, 16)
+	f.LI(isa.R4, 0)
+	f.CallImport("send", 4)
+	f.Ret()
+
+	leaves := leafSummary(analyze(t, a)[0])
+	if !contains(leaves, "str:base") || !contains(leaves, "str:-tail") {
+		t.Errorf("bounded-copy leaves = %v", leaves)
+	}
+}
+
+// TestBase64AndStrdup: value transformations keep the source visible.
+func TestBase64AndStrdup(t *testing.T) {
+	a := asm.New("t")
+	out := a.Bytes("b64", make([]byte, 64))
+	f := a.Func("f", 0, true)
+	f.LAStr(isa.R1, "device_secret")
+	f.CallImport("config_read", 1)
+	f.CallImport("strdup", 1)
+	f.Mov(isa.R1, isa.R1) // keep in r1
+	f.LA(isa.R2, out)
+	f.CallImport("base64_encode", 2)
+	f.Mov(isa.R2, isa.R1)
+	f.LI(isa.R1, 5)
+	f.LI(isa.R3, 16)
+	f.CallImport("SSL_write", 3)
+	f.Ret()
+
+	leaves := leafSummary(analyze(t, a)[0])
+	if !contains(leaves, "config:device_secret") {
+		t.Errorf("base64(strdup(config)) chain broken: %v", leaves)
+	}
+}

@@ -1,0 +1,320 @@
+package taint
+
+import (
+	"strconv"
+
+	"firmres/internal/isa"
+	"firmres/internal/pcode"
+)
+
+// origin identifies a buffer/object identity for content tracking: message
+// buffers are written through library calls (sprintf/strcat/cJSON_Add...)
+// rather than SSA definitions, so the engine needs to recognize "the same
+// buffer" across instructions and across call boundaries.
+type originKind uint8
+
+const (
+	orgConst originKind = iota + 1 // a fixed data-segment address (global buffer)
+	orgAlloc                       // a fresh allocation (malloc/cJSON_CreateObject)
+	orgParam                       // an incoming parameter of a specific function
+	orgOp                          // an unclassified definition site
+)
+
+type origin struct {
+	kind     originKind
+	constVal uint64 // orgConst
+	fnAddr   uint32 // orgAlloc/orgParam/orgOp
+	opIdx    int    // orgAlloc/orgOp
+	param    int    // orgParam: parameter index
+}
+
+func originsIntersect(a, b []origin) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// originsOf resolves the identity of the pointer value v as used at useIdx.
+func (e *Engine) originsOf(fn *pcode.Function, useIdx int, v pcode.Varnode, ctx *traceCtx) []origin {
+	return e.originsOfDepth(fn, useIdx, v, ctx, 0)
+}
+
+func (e *Engine) originsOfDepth(fn *pcode.Function, useIdx int, v pcode.Varnode, ctx *traceCtx, depth int) []origin {
+	if depth > 24 {
+		return nil
+	}
+	if v.IsConst() {
+		return []origin{{kind: orgConst, constVal: v.Offset}}
+	}
+	du := e.du(fn)
+	defs := du.ReachingDefs(useIdx, v)
+	if len(defs) == 0 {
+		if r, ok := v.Reg(); ok && r >= isa.R1 && int(r-isa.R1) < fn.Sym.NumParams {
+			if ctx != nil {
+				return e.originsOfDepth(ctx.fn, ctx.callIdx, v, ctx.parent, depth+1)
+			}
+			return []origin{{kind: orgParam, fnAddr: fn.Addr(), param: int(r - isa.R1)}}
+		}
+		return nil
+	}
+	var out []origin
+	for _, def := range defs {
+		op := &fn.Ops[def]
+		switch op.Code {
+		case pcode.COPY:
+			if op.Inputs[0].IsConst() {
+				out = append(out, origin{kind: orgConst, constVal: op.Inputs[0].Offset})
+			} else {
+				out = append(out, e.originsOfDepth(fn, def, op.Inputs[0], ctx, depth+1)...)
+			}
+		case pcode.INT_ADD, pcode.INT_SUB:
+			// Pointer arithmetic preserves identity through the base.
+			var base *pcode.Varnode
+			for i := range op.Inputs {
+				if !op.Inputs[i].IsConst() {
+					if base != nil {
+						base = nil
+						break
+					}
+					base = &op.Inputs[i]
+				}
+			}
+			if base != nil {
+				out = append(out, e.originsOfDepth(fn, def, *base, ctx, depth+1)...)
+			} else {
+				out = append(out, origin{kind: orgOp, fnAddr: fn.Addr(), opIdx: def})
+			}
+		case pcode.LOAD:
+			if slot, ok := du.Slot(def); ok {
+				out = append(out, e.originsOfDepth(fn, def, slot, ctx, depth+1)...)
+			} else {
+				out = append(out, origin{kind: orgOp, fnAddr: fn.Addr(), opIdx: def})
+			}
+		case pcode.CALL:
+			name := op.Call.Name
+			if rs, ok := returnSummaries[name]; ok && rs.source == srcAlloc {
+				out = append(out, origin{kind: orgAlloc, fnAddr: fn.Addr(), opIdx: def})
+				continue
+			}
+			if ws, ok := writeSummaries[name]; ok {
+				// strcpy/strcat-family return their destination.
+				dst := pcode.Register(isa.ArgReg(ws.dst))
+				out = append(out, e.originsOfDepth(fn, def, dst, ctx, depth+1)...)
+				continue
+			}
+			out = append(out, origin{kind: orgOp, fnAddr: fn.Addr(), opIdx: def})
+		default:
+			out = append(out, origin{kind: orgOp, fnAddr: fn.Addr(), opIdx: def})
+		}
+	}
+	return out
+}
+
+// dstOrigins resolves the destination-buffer identity of a write-summary
+// call at callIdx.
+func (e *Engine) dstOrigins(fn *pcode.Function, callIdx int, ws writeSummary, ctx *traceCtx) []origin {
+	return e.originsOf(fn, callIdx, pcode.Register(isa.ArgReg(ws.dst)), ctx)
+}
+
+// bufferContent reconstructs the content written into the target buffer
+// before op index fromIdx, scanning backwards. Children are returned in
+// reverse write order (backward-walk convention; inverted later).
+//
+// The scan follows three channels: write-summary library calls whose
+// destination matches, raw STOREs through the buffer (the disassembly-noise
+// channel behind the paper's field false positives), and local callees that
+// received the buffer (directly or as a global).
+func (e *Engine) bufferContent(st *traceState, fn *pcode.Function, fromIdx int, targets []origin, ctx *traceCtx, depth int) []*Node {
+	nodes, _ := e.bufferContentScan(st, fn, fromIdx, targets, ctx, depth)
+	return nodes
+}
+
+func (e *Engine) bufferContentScan(st *traceState, fn *pcode.Function, fromIdx int, targets []origin, ctx *traceCtx, depth int) ([]*Node, bool) {
+	if depth > e.opts.MaxDepth || len(targets) == 0 {
+		return nil, false
+	}
+	var out []*Node
+	if fromIdx > len(fn.Ops) {
+		fromIdx = len(fn.Ops)
+	}
+	for i := fromIdx - 1; i >= 0; i-- {
+		op := &fn.Ops[i]
+		switch op.Code {
+		case pcode.STORE:
+			if e.opts.NoStoreChannel {
+				continue
+			}
+			base, ok := storeBase(fn, i)
+			if !ok {
+				continue
+			}
+			if !originsIntersect(e.originsOf(fn, i, base, ctx), targets) {
+				continue
+			}
+			n := &Node{Kind: NodeOp, Fn: fn, OpIdx: i, Callee: "STORE"}
+			n.Children = e.trace(st, fn, i, op.Inputs[1], ctx, depth+1)
+			out = append(out, n)
+
+		case pcode.CALL:
+			name := op.Call.Name
+			if ws, ok := writeSummaries[name]; ok {
+				dst := pcode.Register(isa.ArgReg(ws.dst))
+				if !originsIntersect(e.originsOf(fn, i, dst, ctx), targets) {
+					continue
+				}
+				n := &Node{Kind: NodeCall, Fn: fn, OpIdx: i, Callee: name}
+				n.Format = e.argString(fn, i, ws.fmtArg)
+				n.Children = e.writerDeps(st, fn, i, op, ws, ctx, depth)
+				out = append(out, n)
+				if ws.mode == writeOverwrite {
+					return out, true
+				}
+				continue
+			}
+			if op.Call.Kind != pcode.CallLocal {
+				continue
+			}
+			callee, ok := e.prog.FuncAt(op.Call.Addr)
+			if !ok {
+				continue
+			}
+			calleeTargets := e.calleeTargets(fn, i, op, targets, ctx, callee)
+			if len(calleeTargets) == 0 {
+				continue
+			}
+			sub := &traceCtx{parent: ctx, fn: fn, callIdx: i}
+			inner, overwrote := e.bufferContentScan(st, callee, len(callee.Ops), calleeTargets, sub, depth+1)
+			if len(inner) > 0 {
+				n := &Node{Kind: NodeReturn, Fn: fn, OpIdx: i, Callee: callee.Name()}
+				n.Children = inner
+				out = append(out, n)
+			}
+			if overwrote {
+				return out, true
+			}
+		}
+	}
+	return out, false
+}
+
+// writerDeps traces the content dependencies of a write-summary call, in
+// reverse argument order. Each argument's subtree is wrapped in a NodeArg
+// labelled "arg<N>" so downstream stages can associate a traced value with
+// its position in the call (format-verb matching for sprintf separation).
+func (e *Engine) writerDeps(st *traceState, fn *pcode.Function, callIdx int, op *pcode.Op, ws writeSummary, ctx *traceCtx, depth int) []*Node {
+	var idxs []int
+	idxs = append(idxs, ws.deps...)
+	if ws.varDep >= 0 {
+		for j := ws.varDep; j < op.Call.Arity; j++ {
+			idxs = append(idxs, j)
+		}
+	}
+	var out []*Node
+	for i := len(idxs) - 1; i >= 0; i-- {
+		arg := pcode.Register(isa.ArgReg(idxs[i]))
+		wrap := &Node{
+			Kind: NodeArg, Fn: fn, OpIdx: callIdx,
+			ArgLabel: "arg" + strconv.Itoa(idxs[i]),
+		}
+		wrap.Children = e.trace(st, fn, callIdx, arg, ctx, depth+1)
+		out = append(out, wrap)
+	}
+	return out
+}
+
+// calleeTargets translates buffer identities across a call boundary:
+// constant (global) targets pass through unchanged; targets matching an
+// argument become parameter origins inside the callee.
+func (e *Engine) calleeTargets(fn *pcode.Function, callIdx int, op *pcode.Op, targets []origin, ctx *traceCtx, callee *pcode.Function) []origin {
+	var out []origin
+	for _, t := range targets {
+		if t.kind == orgConst {
+			out = append(out, t)
+		}
+	}
+	for argIdx := 0; argIdx < op.Call.Arity && argIdx < callee.Sym.NumParams; argIdx++ {
+		argOrigins := e.originsOf(fn, callIdx, pcode.Register(isa.ArgReg(argIdx)), ctx)
+		if originsIntersect(argOrigins, targets) {
+			out = append(out, origin{kind: orgParam, fnAddr: callee.Addr(), param: argIdx})
+		}
+	}
+	return out
+}
+
+// jsonContent reconstructs the key/value additions made to a cJSON object
+// before op index fromIdx, in reverse addition order.
+func (e *Engine) jsonContent(st *traceState, fn *pcode.Function, fromIdx int, targets []origin, ctx *traceCtx, depth int) []*Node {
+	if depth > e.opts.MaxDepth || len(targets) == 0 {
+		return nil
+	}
+	var out []*Node
+	if fromIdx > len(fn.Ops) {
+		fromIdx = len(fn.Ops)
+	}
+	for i := fromIdx - 1; i >= 0; i-- {
+		op := &fn.Ops[i]
+		if op.Code != pcode.CALL {
+			continue
+		}
+		name := op.Call.Name
+		if args, ok := jsonAddFns[name]; ok {
+			obj := pcode.Register(isa.ArgReg(0))
+			if !originsIntersect(e.originsOf(fn, i, obj, ctx), targets) {
+				continue
+			}
+			n := &Node{Kind: NodeCall, Fn: fn, OpIdx: i, Callee: name}
+			n.Key = e.argString(fn, i, args[0])
+			valArg := pcode.Register(isa.ArgReg(args[1]))
+			if name == "cJSON_AddItemToObject" {
+				itemOrigins := e.originsOf(fn, i, valArg, ctx)
+				child := &Node{Kind: NodeJSON, Fn: fn, OpIdx: i, Callee: name}
+				child.Children = e.jsonContent(st, fn, i, itemOrigins, ctx, depth+1)
+				n.Children = []*Node{child}
+			} else {
+				n.Children = e.trace(st, fn, i, valArg, ctx, depth+1)
+			}
+			out = append(out, n)
+			continue
+		}
+		if op.Call.Kind == pcode.CallLocal {
+			callee, ok := e.prog.FuncAt(op.Call.Addr)
+			if !ok {
+				continue
+			}
+			calleeTargets := e.calleeTargets(fn, i, op, targets, ctx, callee)
+			if len(calleeTargets) == 0 {
+				continue
+			}
+			sub := &traceCtx{parent: ctx, fn: fn, callIdx: i}
+			inner := e.jsonContent(st, callee, len(callee.Ops), calleeTargets, sub, depth+1)
+			if len(inner) > 0 {
+				n := &Node{Kind: NodeReturn, Fn: fn, OpIdx: i, Callee: callee.Name()}
+				n.Children = inner
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// storeBase recovers the base pointer of a STORE's effective address.
+func storeBase(fn *pcode.Function, storeIdx int) (pcode.Varnode, bool) {
+	if storeIdx == 0 {
+		return pcode.Varnode{}, false
+	}
+	ea := &fn.Ops[storeIdx-1]
+	op := &fn.Ops[storeIdx]
+	if !ea.HasOut || len(op.Inputs) == 0 || ea.Output != op.Inputs[0] || ea.Code != pcode.INT_ADD {
+		return pcode.Varnode{}, false
+	}
+	// Base is the non-const input.
+	if ea.Inputs[0].IsConst() {
+		return ea.Inputs[1], true
+	}
+	return ea.Inputs[0], true
+}

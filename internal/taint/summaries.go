@@ -1,0 +1,140 @@
+package taint
+
+// Function summaries for library calls (§IV-B propagation rules: "we write
+// function summaries for commonly invoked system calls and library calls").
+// Two summary families cover the corpus's construction idioms:
+//
+//   - writeSummary: the call writes message content through a destination
+//     pointer argument (sprintf-family, strcpy/strcat, crypto-into-buffer);
+//   - returnSummary: the call's return value derives from specific argument
+//     values, or is a classified field source (nvram_get, getenv, ...).
+
+// writeMode distinguishes overwriting from appending writers.
+type writeMode uint8
+
+const (
+	writeOverwrite writeMode = iota + 1 // replaces previous buffer content
+	writeAppend                         // appends to previous buffer content
+)
+
+// writeSummary describes a call that writes through a pointer argument.
+type writeSummary struct {
+	dst    int   // argument index of the destination pointer
+	deps   []int // argument indexes the written content derives from
+	varDep int   // first index of a variadic dependency tail (-1 if none)
+	mode   writeMode
+	fmtArg int // argument index of a printf-style format string (-1 if none)
+}
+
+// writeSummaries maps callee name to its write summary.
+var writeSummaries = map[string]writeSummary{
+	"strcpy":        {dst: 0, deps: []int{1}, varDep: -1, mode: writeOverwrite, fmtArg: -1},
+	"strncpy":       {dst: 0, deps: []int{1}, varDep: -1, mode: writeOverwrite, fmtArg: -1},
+	"strcat":        {dst: 0, deps: []int{1}, varDep: -1, mode: writeAppend, fmtArg: -1},
+	"strncat":       {dst: 0, deps: []int{1}, varDep: -1, mode: writeAppend, fmtArg: -1},
+	"memcpy":        {dst: 0, deps: []int{1}, varDep: -1, mode: writeOverwrite, fmtArg: -1},
+	"sprintf":       {dst: 0, deps: nil, varDep: 1, mode: writeOverwrite, fmtArg: 1},
+	"snprintf":      {dst: 0, deps: nil, varDep: 2, mode: writeOverwrite, fmtArg: 2},
+	"itoa":          {dst: 1, deps: []int{0}, varDep: -1, mode: writeOverwrite, fmtArg: -1},
+	"base64_encode": {dst: 1, deps: []int{0}, varDep: -1, mode: writeOverwrite, fmtArg: -1},
+	"md5":           {dst: 1, deps: []int{0}, varDep: -1, mode: writeOverwrite, fmtArg: -1},
+	"sha256":        {dst: 1, deps: []int{0}, varDep: -1, mode: writeOverwrite, fmtArg: -1},
+	"hmac_sha256":   {dst: 2, deps: []int{0, 1}, varDep: -1, mode: writeOverwrite, fmtArg: -1},
+	"aes_encrypt":   {dst: 2, deps: []int{0, 1}, varDep: -1, mode: writeOverwrite, fmtArg: -1},
+	"curl_setopt":   {dst: 0, deps: []int{2}, varDep: -1, mode: writeAppend, fmtArg: -1},
+}
+
+// sourceKind classifies return values that are field sources themselves.
+type sourceKind uint8
+
+const (
+	srcNone sourceKind = iota
+	srcNVRAM
+	srcConfig
+	srcEnv
+	srcFile
+	srcDynamic
+	srcAlloc // fresh allocation: content comes from later writers
+)
+
+// returnSummary describes what a call's return value derives from.
+type returnSummary struct {
+	deps   []int      // argument indexes the return value derives from
+	source sourceKind // non-srcNone when the return IS a field source
+	keyArg int        // argument index holding the source key/path (-1 if none)
+}
+
+// returnSummaries maps callee name to its return summary. Calls with a
+// write summary additionally return their destination buffer, which the
+// engine handles structurally.
+var returnSummaries = map[string]returnSummary{
+	"strdup":                 {deps: []int{0}, keyArg: -1},
+	"urlencode":              {deps: []int{0}, keyArg: -1},
+	"atoi":                   {deps: []int{0}, keyArg: -1},
+	"nvram_get":              {source: srcNVRAM, keyArg: 0},
+	"nvram_safe_get":         {source: srcNVRAM, keyArg: 0},
+	"config_read":            {source: srcConfig, keyArg: 0},
+	"uci_get":                {source: srcConfig, keyArg: 0},
+	"getenv":                 {source: srcEnv, keyArg: 0},
+	"web_get_param":          {source: srcEnv, keyArg: 0},
+	"read_file":              {source: srcFile, keyArg: 0},
+	"fopen":                  {source: srcFile, keyArg: 0},
+	"fread":                  {deps: []int{3}, keyArg: -1}, // content derives from the stream
+	"time":                   {source: srcDynamic, keyArg: -1},
+	"rand":                   {source: srcDynamic, keyArg: -1},
+	"malloc":                 {source: srcAlloc, keyArg: -1},
+	"calloc":                 {source: srcAlloc, keyArg: -1},
+	"cJSON_CreateObject":     {source: srcAlloc, keyArg: -1},
+	"curl_easy_init":         {source: srcAlloc, keyArg: -1},
+	"cJSON_Print":            {deps: nil, keyArg: -1}, // handled structurally (JSON content)
+	"cJSON_PrintUnformatted": {deps: nil, keyArg: -1},
+}
+
+// jsonPrintFns are the calls that serialize a cJSON object; tracing their
+// return descends into the object's accumulated key/value additions.
+var jsonPrintFns = map[string]bool{
+	"cJSON_Print":            true,
+	"cJSON_PrintUnformatted": true,
+}
+
+// jsonAddFns maps cJSON mutators to (key argument, value argument).
+var jsonAddFns = map[string][2]int{
+	"cJSON_AddStringToObject": {1, 2},
+	"cJSON_AddNumberToObject": {1, 2},
+	"cJSON_AddItemToObject":   {1, 2},
+}
+
+// leafKindOf maps a source kind to the MFT leaf kind.
+func leafKindOf(s sourceKind) NodeKind {
+	switch s {
+	case srcNVRAM:
+		return LeafNVRAM
+	case srcConfig:
+		return LeafConfig
+	case srcEnv:
+		return LeafEnv
+	case srcFile:
+		return LeafFile
+	case srcDynamic:
+		return LeafDynamic
+	default:
+		return LeafUnknown
+	}
+}
+
+// deliveryArgs maps each delivery function to the labelled argument indexes
+// that carry message content (the taint sources of §IV-B).
+var deliveryArgs = map[string][]struct {
+	Index int
+	Label string
+}{
+	"SSL_write":         {{1, "payload"}},
+	"CyaSSL_write":      {{1, "payload"}},
+	"send":              {{1, "payload"}},
+	"sendto":            {{1, "payload"}},
+	"sendmsg":           {{1, "payload"}},
+	"http_post":         {{1, "path"}, {2, "body"}},
+	"curl_easy_perform": {{0, "request"}},
+	"mosquitto_publish": {{2, "topic"}, {3, "payload"}},
+	"mqtt_publish":      {{1, "topic"}, {2, "payload"}},
+}
