@@ -1,0 +1,23 @@
+# Makefile — developer entry points. `make check` is the canonical verify
+# command: vet + build + race tests + a short fuzz pass.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test check fuzz vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+check:
+	FUZZTIME=$(FUZZTIME) scripts/check.sh
+
+fuzz:
+	$(GO) test -fuzz=FuzzUnpack -fuzztime=$(FUZZTIME) -run='^$$' ./internal/image
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=$(FUZZTIME) -run='^$$' ./internal/binfmt

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	firmres [-model file] [-json] image.img [image2.img ...]
+//	firmres [-model file] [-json] [-stage-timeout d] [-keep-going] image.img [image2.img ...]
+//
+// Exit codes: 0 when every image analyzed cleanly, 1 when any image failed
+// fatally, 2 on usage errors, 3 when every image produced a report but at
+// least one degraded (partial results recorded in its Errors).
 package main
 
 import (
@@ -12,56 +16,89 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"firmres"
 )
 
+// Exit codes.
+const (
+	exitOK      = 0
+	exitFatal   = 1
+	exitUsage   = 2
+	exitPartial = 3
+)
+
+type options struct {
+	modelPath    string
+	asJSON       bool
+	stageTimeout time.Duration
+}
+
 func main() {
-	modelPath := flag.String("model", "", "trained TextCNN model file (default: keyword classifier)")
-	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	var opts options
+	flag.StringVar(&opts.modelPath, "model", "", "trained TextCNN model file (default: keyword classifier)")
+	flag.BoolVar(&opts.asJSON, "json", false, "emit the report as JSON")
+	flag.DurationVar(&opts.stageTimeout, "stage-timeout", 0,
+		"per-stage analysis budget; over-budget stages are skipped and recorded (0 = unlimited)")
+	keepGoing := flag.Bool("keep-going", false,
+		"keep analyzing remaining images after a fatal per-image failure")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] image.img ...")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] [-stage-timeout d] [-keep-going] image.img ...")
+		os.Exit(exitUsage)
 	}
-	exit := 0
+	exit := exitOK
 	for _, path := range flag.Args() {
-		if err := analyze(path, *modelPath, *asJSON); err != nil {
+		partial, err := analyze(os.Stdout, path, opts)
+		switch {
+		case err != nil:
 			fmt.Fprintf(os.Stderr, "firmres: %s: %v\n", path, err)
-			exit = 1
+			exit = exitFatal
+			if !*keepGoing {
+				os.Exit(exit)
+			}
+		case partial && exit == exitOK:
+			exit = exitPartial
 		}
 	}
 	os.Exit(exit)
 }
 
-func analyze(path, modelPath string, asJSON bool) error {
-	var opts []firmres.Option
-	if modelPath != "" {
-		opts = append(opts, firmres.WithModelFile(modelPath))
+// analyze runs one image and renders the report. It reports whether the
+// analysis degraded (partial report) and any fatal error.
+func analyze(w io.Writer, path string, opts options) (partial bool, err error) {
+	var apiOpts []firmres.Option
+	if opts.modelPath != "" {
+		apiOpts = append(apiOpts, firmres.WithModelFile(opts.modelPath))
 	}
-	report, err := firmres.AnalyzeFile(path, opts...)
+	if opts.stageTimeout > 0 {
+		apiOpts = append(apiOpts, firmres.WithStageTimeout(opts.stageTimeout))
+	}
+	report, err := firmres.AnalyzeFile(path, apiOpts...)
 	if errors.Is(err, firmres.ErrNoDeviceCloudExecutable) {
-		fmt.Printf("%s: no device-cloud executable (script-based cloud agent?)\n", path)
-		return nil
+		fmt.Fprintf(w, "%s: no device-cloud executable (script-based cloud agent?)\n", path)
+		return false, nil
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
-	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
+	if opts.asJSON {
+		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		return enc.Encode(report)
+		return report.Partial(), enc.Encode(report)
 	}
-	printReport(path, report)
-	return nil
+	printReport(w, path, report)
+	return report.Partial(), nil
 }
 
-func printReport(path string, r *firmres.Report) {
-	fmt.Printf("== %s — %s (%s)\n", path, r.Device, r.Version)
-	fmt.Printf("   device-cloud executable: %s\n", r.Executable)
+func printReport(w io.Writer, path string, r *firmres.Report) {
+	fmt.Fprintf(w, "== %s — %s (%s)\n", path, r.Device, r.Version)
+	fmt.Fprintf(w, "   device-cloud executable: %s\n", r.Executable)
 	if r.ClusterCounts != nil {
-		fmt.Printf("   delimiter clusters: thd0.5=%d thd0.6=%d thd0.7=%d\n",
+		fmt.Fprintf(w, "   delimiter clusters: thd0.5=%d thd0.6=%d thd0.7=%d\n",
 			r.ClusterCounts["0.5"], r.ClusterCounts["0.6"], r.ClusterCounts["0.7"])
 	}
 	flagged := 0
@@ -75,19 +112,29 @@ func printReport(path string, r *firmres.Report) {
 		if m.Topic != "" {
 			route = "topic " + m.Topic
 		}
-		fmt.Printf(" %s %-24s %-6s %-42s %d fields", marker, m.Function, m.Format, route, len(m.Fields))
+		fmt.Fprintf(w, " %s %-24s %-6s %-42s %d fields", marker, m.Function, m.Format, route, len(m.Fields))
 		if m.Flagged {
-			fmt.Printf("  [%s] %s", m.Verdict, m.Detail)
+			fmt.Fprintf(w, "  [%s] %s", m.Verdict, m.Detail)
 		}
 		if m.Discarded {
-			fmt.Printf("  [discarded] %s", m.Detail)
+			fmt.Fprintf(w, "  [discarded] %s", m.Detail)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		for _, f := range m.Fields {
 			if f.Semantics != "" && f.Semantics != "None" {
-				fmt.Printf("       %-14s %-16s %s=%s\n", f.Semantics, f.Source, f.Key, f.Value)
+				fmt.Fprintf(w, "       %-14s %-16s %s=%s\n", f.Semantics, f.Source, f.Key, f.Value)
 			}
 		}
 	}
-	fmt.Printf("   %d messages reconstructed, %d flagged\n", len(r.Messages), flagged)
+	fmt.Fprintf(w, "   %d messages reconstructed, %d flagged\n", len(r.Messages), flagged)
+	if r.Partial() {
+		fmt.Fprintf(w, "   PARTIAL: %d analysis step(s) degraded:\n", len(r.Errors))
+		for _, ae := range r.Errors {
+			subject := ae.Stage
+			if ae.Path != "" {
+				subject += " " + ae.Path
+			}
+			fmt.Fprintf(w, "     - [%s] %s: %s\n", ae.Kind, subject, ae.Detail)
+		}
+	}
 }

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
+	"firmres"
 	"firmres/internal/corpus"
 )
 
@@ -22,25 +27,90 @@ func writeImage(t *testing.T, id int) string {
 }
 
 func TestAnalyzeTextOutput(t *testing.T) {
-	if err := analyze(writeImage(t, 5), "", false); err != nil {
+	var out bytes.Buffer
+	partial, err := analyze(&out, writeImage(t, 5), options{})
+	if err != nil {
 		t.Errorf("analyze: %v", err)
+	}
+	if partial {
+		t.Error("clean image reported partial")
+	}
+	if !strings.Contains(out.String(), "messages reconstructed") {
+		t.Errorf("unexpected output: %q", out.String())
 	}
 }
 
 func TestAnalyzeJSONOutput(t *testing.T) {
-	if err := analyze(writeImage(t, 5), "", true); err != nil {
+	var out bytes.Buffer
+	if _, err := analyze(&out, writeImage(t, 5), options{asJSON: true}); err != nil {
 		t.Errorf("analyze -json: %v", err)
+	}
+	var report firmres.Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Errorf("output is not valid JSON: %v", err)
 	}
 }
 
 func TestAnalyzeScriptOnlyIsNotAnError(t *testing.T) {
-	if err := analyze(writeImage(t, 21), "", false); err != nil {
+	var out bytes.Buffer
+	if _, err := analyze(&out, writeImage(t, 21), options{}); err != nil {
 		t.Errorf("script-only device treated as error: %v", err)
 	}
 }
 
 func TestAnalyzeMissingFile(t *testing.T) {
-	if err := analyze(filepath.Join(t.TempDir(), "nope.img"), "", false); err == nil {
+	var out bytes.Buffer
+	if _, err := analyze(&out, filepath.Join(t.TempDir(), "nope.img"), options{}); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestAnalyzePartialReportRenders: an image with one rotten executable must
+// still produce a rendered report, marked PARTIAL with the skipped work
+// named, and analyze must signal partial rather than fatal.
+func TestAnalyzePartialReportRenders(t *testing.T) {
+	img, err := corpus.BuildImage(corpus.Device(5))
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	// Plant a corrupt binary alongside the real device-cloud executable.
+	img.AddFile("/bin/rotten", 1, []byte("FRB1 this is not a real binary"))
+	path := filepath.Join(t.TempDir(), "fw.img")
+	if err := os.WriteFile(path, img.Pack(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	partial, err := analyze(&out, path, options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if !partial {
+		t.Fatal("degraded analysis not reported as partial")
+	}
+	text := out.String()
+	if !strings.Contains(text, "PARTIAL") {
+		t.Errorf("partial report not marked: %q", text)
+	}
+	if !strings.Contains(text, "corrupt-binary") || !strings.Contains(text, "/bin/rotten") {
+		t.Errorf("skipped work not named: %q", text)
+	}
+	if !strings.Contains(text, "messages reconstructed") {
+		t.Errorf("partial report lost the message table: %q", text)
+	}
+}
+
+// TestAnalyzeStageTimeoutFlag: a pathologically small budget still yields a
+// rendered partial result, never a hang or crash.
+func TestAnalyzeStageTimeoutFlag(t *testing.T) {
+	var out bytes.Buffer
+	partial, err := analyze(&out, writeImage(t, 5), options{stageTimeout: time.Nanosecond})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if !partial {
+		t.Error("nanosecond budget produced a clean report")
+	}
+	if !strings.Contains(out.String(), "stage-timeout") {
+		t.Errorf("timeout not rendered: %q", out.String())
 	}
 }

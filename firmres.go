@@ -21,11 +21,13 @@
 package firmres
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
 
 	"firmres/internal/core"
+	"firmres/internal/errdefs"
 	"firmres/internal/image"
 	"firmres/internal/nn"
 	"firmres/internal/semantics"
@@ -57,6 +59,30 @@ type Message struct {
 	Detail    string // human-readable finding
 }
 
+// AnalysisError records one piece of work the pipeline skipped or
+// abandoned while producing a partial Report: a corrupt executable, a
+// timed-out stage, a recovered panic. Err wraps one of the package's
+// sentinel errors, so errors.Is dispatch works; Detail carries the rendered
+// cause for JSON output.
+type AnalysisError struct {
+	Stage  string `json:"stage"`            // pipeline stage ("identify-fields", ...)
+	Path   string `json:"path,omitempty"`   // executable involved, "" when stage-wide
+	Kind   string `json:"kind"`             // taxonomy slug ("stage-timeout", ...)
+	Detail string `json:"detail"`           // human-readable cause
+	Err    error  `json:"-"`                // underlying cause for errors.Is / errors.As
+}
+
+// Error renders the failure.
+func (e AnalysisError) Error() string {
+	if e.Path != "" {
+		return fmt.Sprintf("%s: %s: %s", e.Stage, e.Path, e.Detail)
+	}
+	return fmt.Sprintf("%s: %s", e.Stage, e.Detail)
+}
+
+// Unwrap exposes the cause.
+func (e AnalysisError) Unwrap() error { return e.Err }
+
 // Report is the analysis result for one firmware image.
 type Report struct {
 	Device        string
@@ -65,14 +91,43 @@ type Report struct {
 	Messages      []Message
 	ClusterCounts map[string]int // "0.5"/"0.6"/"0.7" -> delimiter clusters; nil without sprintf
 	StageTimings  map[string]time.Duration
+	// Errors lists the work the pipeline skipped or abandoned while
+	// degrading gracefully. Empty for a clean run; see Partial.
+	Errors []AnalysisError `json:",omitempty"`
 }
+
+// Partial reports whether the analysis degraded — some executables or
+// stages were skipped and recorded in Errors.
+func (r *Report) Partial() bool { return len(r.Errors) > 0 }
 
 // Labels lists the semantic classes in canonical order.
 func Labels() []string { return append([]string(nil), semantics.Labels...) }
 
-// ErrNoDeviceCloudExecutable is returned when no binary in the image hosts
-// an asynchronous request handler (script-only cloud agents).
-var ErrNoDeviceCloudExecutable = core.ErrNoDeviceCloudExecutable
+// Sentinel errors of the analysis taxonomy. Every error the package
+// returns, and every Report.Errors entry, wraps one of these; dispatch
+// with errors.Is.
+var (
+	// ErrNoDeviceCloudExecutable is returned when no binary in the image
+	// hosts an asynchronous request handler (script-only cloud agents).
+	ErrNoDeviceCloudExecutable = errdefs.ErrNoDeviceCloudExecutable
+
+	// ErrCorruptImage is returned when the firmware image fails structural
+	// validation (bad magic, checksum mismatch, truncation).
+	ErrCorruptImage = errdefs.ErrCorruptImage
+
+	// ErrStageTimeout marks an analysis stage cancelled by its time budget
+	// or by the caller's context. When the caller's context expired it
+	// also wraps the context error (context.DeadlineExceeded or
+	// context.Canceled).
+	ErrStageTimeout = errdefs.ErrStageTimeout
+
+	// ErrStagePanic marks an analysis stage aborted by a recovered panic.
+	ErrStagePanic = errdefs.ErrStagePanic
+
+	// ErrExecutableSkipped marks one candidate executable dropped during
+	// pinpointing while the rest of the image kept analyzing.
+	ErrExecutableSkipped = errdefs.ErrExecutableSkipped
+)
 
 // Option configures an analysis.
 type Option func(*config)
@@ -113,30 +168,55 @@ func WithMinHandlerScore(s float64) Option {
 	return func(c *config) { c.opts.MinScore = s }
 }
 
+// WithStageTimeout sets a wall-clock budget for each pipeline stage. A
+// stage exceeding it — a taint blow-up, a pathological classifier — is
+// abandoned and recorded in Report.Errors, and the remaining stages run on
+// whatever was recovered. Zero (the default) means no per-stage budget.
+func WithStageTimeout(d time.Duration) Option {
+	return func(c *config) { c.opts.StageTimeout = d }
+}
+
 // AnalyzeImage analyzes a packed firmware image.
 func AnalyzeImage(data []byte, opts ...Option) (*Report, error) {
+	return AnalyzeImageContext(context.Background(), data, opts...)
+}
+
+// AnalyzeImageContext analyzes a packed firmware image under ctx. The
+// analysis degrades gracefully: corrupt executables and over-budget stages
+// (see WithStageTimeout) are recorded in Report.Errors while the rest of
+// the pipeline keeps running. The error return is reserved for fatal
+// conditions — a structurally corrupt image (wrapping ErrCorruptImage), an
+// expired or cancelled ctx (wrapping ErrStageTimeout and the context
+// error), or an image with no device-cloud executable.
+func AnalyzeImageContext(ctx context.Context, data []byte, opts ...Option) (*Report, error) {
 	img, err := image.Unpack(data)
 	if err != nil {
-		return nil, fmt.Errorf("firmres: %w", err)
+		return nil, fmt.Errorf("firmres: %w: %w", errdefs.ErrCorruptImage, err)
 	}
-	return analyze(img, opts...)
+	return analyze(ctx, img, opts...)
 }
 
 // AnalyzeFile analyzes a firmware image file on disk.
 func AnalyzeFile(path string, opts ...Option) (*Report, error) {
+	return AnalyzeFileContext(context.Background(), path, opts...)
+}
+
+// AnalyzeFileContext analyzes a firmware image file on disk under ctx,
+// with the same degradation contract as AnalyzeImageContext.
+func AnalyzeFileContext(ctx context.Context, path string, opts ...Option) (*Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("firmres: %w", err)
 	}
-	return AnalyzeImage(data, opts...)
+	return AnalyzeImageContext(ctx, data, opts...)
 }
 
-func analyze(img *image.Image, opts ...Option) (*Report, error) {
+func analyze(ctx context.Context, img *image.Image, opts ...Option) (*Report, error) {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	res, err := core.New(cfg.opts).AnalyzeImage(img)
+	res, err := core.New(cfg.opts).AnalyzeImageContext(ctx, img)
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +238,15 @@ func reportOf(res *core.Result) *Report {
 		for thd, n := range res.ClusterCounts {
 			r.ClusterCounts[fmt.Sprintf("%.1f", thd)] = n
 		}
+	}
+	for _, ae := range res.Errors {
+		r.Errors = append(r.Errors, AnalysisError{
+			Stage:  ae.Stage,
+			Path:   ae.Path,
+			Kind:   ae.Kind(),
+			Detail: ae.Err.Error(),
+			Err:    ae.Err,
+		})
 	}
 	core.SortMessagesByFunction(res.Messages)
 	for i := range res.Messages {

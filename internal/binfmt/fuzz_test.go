@@ -1,0 +1,55 @@
+package binfmt
+
+import (
+	"bytes"
+	"testing"
+
+	"firmres/internal/isa"
+)
+
+// fuzzSeedBinary builds a tiny valid binary for the seed corpus.
+func fuzzSeedBinary() *Binary {
+	text := isa.Instruction{Op: isa.OpRet}.Encode(nil)
+	return &Binary{
+		Name:     "seed",
+		TextBase: DefaultTextBase,
+		Text:     text,
+		DataBase: DefaultDataBase,
+		Data:     append([]byte("hello"), 0),
+		Imports:  []Import{{Name: "SSL_write", NumParams: 3, HasResult: true}},
+		Funcs:    []FuncSym{{Name: "main", Addr: DefaultTextBase, Size: uint32(len(text)), NumParams: 0, HasResult: false}},
+		DataSyms: []DataSym{{Name: "greeting", Addr: DefaultDataBase, Size: 6, Kind: DataString}},
+		Vars:     []LocalVar{{FuncAddr: DefaultTextBase, Reg: isa.R1, Kind: VarParam, Name: "conn"}},
+	}
+}
+
+// FuzzUnmarshal hammers the executable parser: corrupt section tables,
+// lying length prefixes, truncated bodies. It must error or produce a
+// binary whose re-marshalled form parses identically — and Validate must
+// not panic on whatever was accepted.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(fuzzSeedBinary().Marshal())
+	// Truncated mid-section.
+	full := fuzzSeedBinary().Marshal()
+	f.Add(full[:len(full)-7])
+	// Magic only.
+	f.Add([]byte(Magic))
+	// Garbage behind a valid magic.
+	f.Add(append([]byte(Magic), 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		_ = b.Validate() // must not panic, any verdict is fine
+		remarshalled := b.Marshal()
+		again, err := Unmarshal(remarshalled)
+		if err != nil {
+			t.Fatalf("accepted binary does not round-trip: %v", err)
+		}
+		if !bytes.Equal(again.Marshal(), remarshalled) {
+			t.Fatal("Marshal is not canonical")
+		}
+	})
+}

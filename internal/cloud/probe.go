@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -16,6 +17,10 @@ import (
 	"firmres/internal/taint"
 )
 
+// DefaultHTTPTimeout bounds one HTTP probe attempt when no WithHTTPTimeout
+// option is given.
+const DefaultHTTPTimeout = 5 * time.Second
+
 // ProbeResult is the outcome of sending one reconstructed message.
 type ProbeResult struct {
 	Class   string // response class (RespOK, RespAccessDenied, ...)
@@ -30,30 +35,67 @@ type Prober struct {
 	HTTPAddr string
 	Cloud    *Cloud // for MQTT feedback and in-process experiments
 	Client   *http.Client
+	Retry    Backoff // per-probe retry policy; zero value = defaults
+}
+
+// ProberOption configures a Prober.
+type ProberOption func(*Prober)
+
+// WithHTTPTimeout replaces the default per-attempt HTTP timeout.
+func WithHTTPTimeout(d time.Duration) ProberOption {
+	return func(p *Prober) { p.Client.Timeout = d }
+}
+
+// WithRetry replaces the default retry/backoff policy. The policy's Budget
+// caps the total time one Probe call may spend across attempts.
+func WithRetry(b Backoff) ProberOption {
+	return func(p *Prober) { p.Retry = b }
 }
 
 // NewProber targets a started cloud.
-func NewProber(c *Cloud) *Prober {
-	return &Prober{
+func NewProber(c *Cloud, opts ...ProberOption) *Prober {
+	p := &Prober{
 		HTTPAddr: c.Addr(),
 		Cloud:    c,
-		Client:   &http.Client{Timeout: 5 * time.Second},
+		Client:   &http.Client{Timeout: DefaultHTTPTimeout},
 	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
 }
 
 // Probe sends a reconstructed message over the transport its delivery
-// function implies and classifies the response.
+// function implies and classifies the response, retrying transient
+// transport failures under the configured backoff policy.
 func (p *Prober) Probe(msg *fields.Message) (*ProbeResult, error) {
+	return p.ProbeContext(context.Background(), msg)
+}
+
+// ProbeContext is Probe under a caller-supplied context: cancelling ctx
+// aborts in-flight attempts and pending backoff sleeps. Total probe time is
+// additionally capped by the retry policy's Budget.
+func (p *Prober) ProbeContext(ctx context.Context, msg *fields.Message) (*ProbeResult, error) {
 	if msg.Discarded {
 		return &ProbeResult{Class: RespPathNotExist}, nil
 	}
-	if msg.Format == fields.FormatMQTT {
-		return p.probeMQTT(msg)
+	var res *ProbeResult
+	err := p.Retry.Do(ctx, func(ctx context.Context) error {
+		var err error
+		if msg.Format == fields.FormatMQTT {
+			res, err = p.probeMQTT(msg)
+		} else {
+			res, err = p.probeHTTP(ctx, msg)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return p.probeHTTP(msg)
+	return res, nil
 }
 
-func (p *Prober) probeHTTP(msg *fields.Message) (*ProbeResult, error) {
+func (p *Prober) probeHTTP(ctx context.Context, msg *fields.Message) (*ProbeResult, error) {
 	path, body := msg.Path, msg.Body
 	// Raw SSL/TCP messages embed the route at the front of the body; a
 	// query-style body ("?m=camera&a=login&...") is itself the route.
@@ -71,16 +113,16 @@ func (p *Prober) probeHTTP(msg *fields.Message) (*ProbeResult, error) {
 	}
 	target, err := buildURL(p.HTTPAddr, path)
 	if err != nil {
-		return nil, err
+		return nil, Permanent(err)
 	}
 	contentType := "application/x-www-form-urlencoded"
 	reqBody := body
 	if strings.HasPrefix(strings.TrimSpace(body), "{") {
 		contentType = "application/json"
 	}
-	req, err := http.NewRequest(http.MethodPost, target, strings.NewReader(reqBody))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, strings.NewReader(reqBody))
 	if err != nil {
-		return nil, fmt.Errorf("cloud: probe request: %w", err)
+		return nil, Permanent(fmt.Errorf("cloud: probe request: %w", err))
 	}
 	req.Header.Set("Content-Type", contentType)
 	resp, err := p.Client.Do(req)
@@ -143,7 +185,7 @@ func classify(status int, body string) string {
 // cloud's access log.
 func (p *Prober) probeMQTT(msg *fields.Message) (*ProbeResult, error) {
 	if p.Cloud == nil {
-		return nil, fmt.Errorf("cloud: MQTT probe needs an in-process cloud")
+		return nil, Permanent(fmt.Errorf("cloud: MQTT probe needs an in-process cloud"))
 	}
 	clientID := mqttClientID(msg)
 	secret := mqttPassword(msg)

@@ -1,0 +1,126 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"firmres/internal/errdefs"
+)
+
+// Backoff retries an operation with jittered exponential backoff and a
+// total time budget. The zero value is usable and applies the defaults
+// documented on each field. Probing a simulated cloud rides through
+// transient listener hiccups; probing a real one rides through the
+// network's usual weather — either way the caller sees one error only
+// after the whole budget is spent.
+type Backoff struct {
+	Attempts int           // max attempts, including the first (default 3)
+	Base     time.Duration // delay before the second attempt (default 50ms)
+	Max      time.Duration // cap for a single delay (default 2s)
+	Budget   time.Duration // cap for total time across attempts (default 15s)
+	Jitter   float64       // random fraction added to each delay (default 0.5)
+
+	// Rand seeds the jitter for deterministic tests; nil uses the
+	// goroutine-safe global source. A non-nil Rand is not safe for
+	// concurrent Do calls.
+	Rand *rand.Rand
+}
+
+func (b *Backoff) withDefaults() Backoff {
+	out := Backoff{
+		Attempts: b.Attempts, Base: b.Base, Max: b.Max,
+		Budget: b.Budget, Jitter: b.Jitter, Rand: b.Rand,
+	}
+	if out.Attempts <= 0 {
+		out.Attempts = 3
+	}
+	if out.Base <= 0 {
+		out.Base = 50 * time.Millisecond
+	}
+	if out.Max <= 0 {
+		out.Max = 2 * time.Second
+	}
+	if out.Budget <= 0 {
+		out.Budget = 15 * time.Second
+	}
+	if out.Jitter == 0 {
+		out.Jitter = 0.5
+	}
+	return out
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps an error so Backoff.Do stops immediately instead of
+// retrying: the operation reached the cloud and got a definitive answer.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Do runs op until it succeeds, returns a Permanent error, exhausts the
+// attempt count, or runs out of budget. The final failure wraps
+// errdefs.ErrProbeExhausted plus the last cause; context expiry surfaces
+// the context error.
+func (b *Backoff) Do(ctx context.Context, op func(context.Context) error) error {
+	cfg := b.withDefaults()
+	ctx, cancel := context.WithTimeout(ctx, cfg.Budget)
+	defer cancel()
+
+	var last error
+	delay := cfg.Base
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cloud: %w after %d attempts: %w (last: %w)",
+				errdefs.ErrProbeExhausted, attempt-1, err, cause(last))
+		}
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		last = err
+		if attempt >= cfg.Attempts {
+			return fmt.Errorf("cloud: %w after %d attempts: %w",
+				errdefs.ErrProbeExhausted, attempt, last)
+		}
+		select {
+		case <-time.After(jittered(delay, cfg)):
+		case <-ctx.Done():
+			return fmt.Errorf("cloud: %w after %d attempts: %w (last: %w)",
+				errdefs.ErrProbeExhausted, attempt, ctx.Err(), last)
+		}
+		if delay *= 2; delay > cfg.Max {
+			delay = cfg.Max
+		}
+	}
+}
+
+// jittered adds the configured random fraction to one delay.
+func jittered(d time.Duration, cfg Backoff) time.Duration {
+	frac := rand.Float64()
+	if cfg.Rand != nil {
+		frac = cfg.Rand.Float64()
+	}
+	return d + time.Duration(cfg.Jitter*frac*float64(d))
+}
+
+// cause renders a possibly-nil last error for wrapping.
+func cause(err error) error {
+	if err == nil {
+		return errors.New("no attempt completed")
+	}
+	return err
+}

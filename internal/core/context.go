@@ -1,0 +1,294 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"firmres/internal/binfmt"
+	"firmres/internal/errdefs"
+	"firmres/internal/fields"
+	"firmres/internal/formcheck"
+	"firmres/internal/identify"
+	"firmres/internal/image"
+	"firmres/internal/mft"
+	"firmres/internal/pcode"
+	"firmres/internal/slices"
+	"firmres/internal/taint"
+)
+
+// errStageDegraded is the internal marker runStage returns when a stage was
+// abandoned (budget timeout or panic) but the failure was recorded on the
+// result and the analysis should continue with whatever earlier stages
+// recovered.
+var errStageDegraded = errors.New("core: stage degraded")
+
+// runStage executes one pipeline stage under the caller's context plus the
+// configured per-stage budget, with panic recovery.
+//
+// The stage body runs in its own goroutine and must not mutate shared state
+// directly: it returns a commit closure that runStage invokes only when the
+// stage finishes in time. A stage that blows its budget is abandoned — its
+// goroutine keeps running until its own loops notice the cancelled context,
+// but its commit is never applied, so abandoned work cannot race with later
+// stages.
+//
+// Return values: nil when the stage committed; errStageDegraded when the
+// stage timed out or panicked and the failure was appended to res.Errors;
+// a fatal error when the caller's own context expired (wrapped in
+// errdefs.ErrStageTimeout) or the stage body reported one.
+func (p *Pipeline) runStage(ctx context.Context, res *Result, s Stage, fn func(context.Context) (func(), error)) error {
+	start := time.Now()
+	stageCtx, cancel := ctx, func() {}
+	if p.opts.StageTimeout > 0 {
+		stageCtx, cancel = context.WithTimeout(ctx, p.opts.StageTimeout)
+	}
+	defer cancel()
+
+	type outcome struct {
+		commit func()
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{err: fmt.Errorf("%w: %v", errdefs.ErrStagePanic, r)}
+			}
+		}()
+		commit, err := fn(stageCtx)
+		done <- outcome{commit: commit, err: err}
+	}()
+
+	select {
+	case out := <-done:
+		res.Timing[s] = time.Since(start)
+		// Apply whatever the stage recovered even when it also reports an
+		// error: pinpoint records skipped executables alongside a fatal
+		// "nothing found".
+		if out.commit != nil {
+			out.commit()
+		}
+		if out.err != nil {
+			degradable := errors.Is(out.err, errdefs.ErrStagePanic) ||
+				errors.Is(out.err, errdefs.ErrStageTimeout)
+			if degradable && ctx.Err() == nil {
+				res.Errors = append(res.Errors, errdefs.AnalysisError{Stage: s.String(), Err: out.err})
+				return errStageDegraded
+			}
+			if ctx.Err() != nil && degradable {
+				return fmt.Errorf("core: %w: %s: %w", errdefs.ErrStageTimeout, s, ctx.Err())
+			}
+			return out.err
+		}
+		return nil
+	case <-stageCtx.Done():
+		res.Timing[s] = time.Since(start)
+		if err := ctx.Err(); err != nil {
+			// The caller's context died, not just this stage's budget:
+			// fatal for the whole analysis.
+			return fmt.Errorf("core: %w: %s: %w", errdefs.ErrStageTimeout, s, err)
+		}
+		res.Errors = append(res.Errors, errdefs.AnalysisError{
+			Stage: s.String(),
+			Err:   fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, stageCtx.Err()),
+		})
+		return errStageDegraded
+	}
+}
+
+// AnalyzeImageContext runs the pipeline over one unpacked firmware image
+// under ctx, degrading gracefully: a stage that exceeds Options.StageTimeout
+// or panics is recorded in Result.Errors and the remaining stages run on
+// whatever was recovered. The error return is reserved for fatal conditions
+// — an expired caller context (wrapped in errdefs.ErrStageTimeout) or an
+// image with no device-cloud executable.
+func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*Result, error) {
+	res := &Result{Device: img.Device, Version: img.Version}
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("core: %w: %w", errdefs.ErrStageTimeout, err)
+	}
+
+	// Stage 1: pinpoint the device-cloud executable. Corrupt or panicking
+	// candidates are skipped per-executable; only a complete sweep that
+	// finds nothing is fatal.
+	var prog *pcode.Program
+	err := p.runStage(ctx, res, StagePinpoint, func(sctx context.Context) (func(), error) {
+		cand, skips, err := p.pinpoint(sctx, img)
+		return func() {
+			res.Errors = append(res.Errors, skips...)
+			if cand != nil {
+				prog, res.Executable, res.Handlers = cand.prog, cand.path, cand.handlers
+			}
+		}, err
+	})
+	switch {
+	case err == nil, errors.Is(err, errStageDegraded):
+	default:
+		return res, err
+	}
+
+	// Stage 2: identify message fields (backward taint, MFT construction).
+	var mfts []*taint.MFT
+	var trees []*mft.Tree
+	var allSlices [][]slices.Slice
+	if prog != nil {
+		err = p.runStage(ctx, res, StageFields, func(sctx context.Context) (func(), error) {
+			engine := taint.NewEngine(prog, p.opts.Taint)
+			var ms []*taint.MFT
+			for _, m := range engine.Analyze() {
+				ms = append(ms, mft.Split(m)...)
+			}
+			ts := make([]*mft.Tree, 0, len(ms))
+			sls := make([][]slices.Slice, 0, len(ms))
+			for _, m := range ms {
+				if sctx.Err() != nil {
+					return nil, fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, sctx.Err())
+				}
+				tree := mft.Simplify(m)
+				ts = append(ts, tree)
+				sls = append(sls, slices.Generate(tree))
+			}
+			return func() { mfts, trees, allSlices = ms, ts, sls }, nil
+		})
+		if err != nil && !errors.Is(err, errStageDegraded) {
+			return res, err
+		}
+	}
+
+	// Stage 3: recover field semantics.
+	infos := make([][]fields.SliceInfo, len(trees))
+	err = p.runStage(ctx, res, StageSemantics, func(sctx context.Context) (func(), error) {
+		out := make([][]fields.SliceInfo, len(trees))
+		for i, sl := range allSlices {
+			for _, s := range sl {
+				label, conf := p.opts.Classifier.Classify(s)
+				out[i] = append(out[i], fields.SliceInfo{Slice: s, Label: label, Confidence: conf})
+			}
+		}
+		counts := p.clusterCounts(mfts)
+		return func() { infos, res.ClusterCounts = out, counts }, nil
+	})
+	if err != nil && !errors.Is(err, errStageDegraded) {
+		return res, err
+	}
+
+	// Stage 4: concatenate fields into messages.
+	err = p.runStage(ctx, res, StageConcat, func(sctx context.Context) (func(), error) {
+		resolver := ResolverFromImage(img)
+		msgs := make([]MessageResult, 0, len(trees))
+		for i, tree := range trees {
+			msg := fields.Build(tree, infos[i], resolver)
+			msgs = append(msgs, MessageResult{
+				MFT: mfts[i], Tree: tree, Slices: allSlices[i],
+				Infos: infos[i], Message: msg,
+			})
+		}
+		return func() { res.Messages = msgs }, nil
+	})
+	if err != nil && !errors.Is(err, errStageDegraded) {
+		return res, err
+	}
+
+	// Stage 5: check message forms.
+	err = p.runStage(ctx, res, StageFormCheck, func(sctx context.Context) (func(), error) {
+		findings := make([]formcheck.Finding, len(res.Messages))
+		for i := range res.Messages {
+			mr := &res.Messages[i]
+			if mr.Message.Discarded {
+				continue
+			}
+			findings[i] = formcheck.Check(mr.Message, img)
+		}
+		return func() {
+			for i := range res.Messages {
+				res.Messages[i].Finding = findings[i]
+			}
+		}, nil
+	})
+	if err != nil && !errors.Is(err, errStageDegraded) {
+		return res, err
+	}
+	return res, nil
+}
+
+// candidate is one pinpointed device-cloud executable contender.
+type candidate struct {
+	prog     *pcode.Program
+	path     string
+	handlers []identify.Handler
+	score    float64
+}
+
+// pinpoint lifts every binary executable and returns the one with an
+// asynchronous request handler (§IV-A). Executables that fail to parse,
+// fail to lift, or panic the analyzer are skipped and reported, not fatal:
+// on a hostile corpus one rotten binary must not sink the image.
+func (p *Pipeline) pinpoint(ctx context.Context, img *image.Image) (*candidate, []errdefs.AnalysisError, error) {
+	var best *candidate
+	var skips []errdefs.AnalysisError
+	for _, f := range img.Executables() {
+		if ctx.Err() != nil {
+			break // abandoned by the stage runner; stop burning CPU
+		}
+		if !f.IsBinary() {
+			continue // scripts are out of scope (§V-B)
+		}
+		c, skip := p.liftCandidate(f)
+		if skip != nil {
+			skips = append(skips, *skip)
+			continue
+		}
+		if c == nil {
+			continue // parsed fine, just not a device-cloud executable
+		}
+		if best == nil || c.score > best.score {
+			best = c
+		}
+	}
+	if best == nil {
+		return nil, skips, fmt.Errorf("core: %q: %w", img.Device, ErrNoDeviceCloudExecutable)
+	}
+	return best, skips, nil
+}
+
+// liftCandidate parses, lifts, and identifies one executable with panic
+// recovery, so a pathological binary is reported as skipped instead of
+// crashing the whole analysis.
+func (p *Pipeline) liftCandidate(f *image.File) (cand *candidate, skip *errdefs.AnalysisError) {
+	defer func() {
+		if r := recover(); r != nil {
+			cand = nil
+			skip = &errdefs.AnalysisError{
+				Stage: StagePinpoint.String(), Path: f.Path,
+				Err: fmt.Errorf("%w: %w: %v", errdefs.ErrExecutableSkipped, errdefs.ErrStagePanic, r),
+			}
+		}
+	}()
+	bin, err := binfmt.Unmarshal(f.Data)
+	if err != nil {
+		return nil, &errdefs.AnalysisError{
+			Stage: StagePinpoint.String(), Path: f.Path,
+			Err: fmt.Errorf("%w: %w: %w", errdefs.ErrExecutableSkipped, errdefs.ErrCorruptBinary, err),
+		}
+	}
+	prog, err := pcode.LiftProgram(bin)
+	if err != nil {
+		return nil, &errdefs.AnalysisError{
+			Stage: StagePinpoint.String(), Path: f.Path,
+			Err: fmt.Errorf("%w: %w: %w", errdefs.ErrExecutableSkipped, errdefs.ErrCorruptBinary, err),
+		}
+	}
+	idRes := identify.Analyze(prog, identify.WithMinScore(p.opts.MinScore))
+	if !idRes.IsDeviceCloud {
+		return nil, nil
+	}
+	score := 0.0
+	for _, h := range idRes.Handlers {
+		if h.Async && h.Score > score {
+			score = h.Score
+		}
+	}
+	return &candidate{prog: prog, path: f.Path, handlers: idRes.Handlers, score: score}, nil
+}

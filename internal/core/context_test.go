@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"firmres/internal/corpus"
+	"firmres/internal/errdefs"
+	"firmres/internal/image"
+	"firmres/internal/slices"
+)
+
+func buildImage(t *testing.T, id int) *image.Image {
+	t.Helper()
+	img, err := corpus.BuildImage(corpus.Device(id))
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	return img
+}
+
+func TestAnalyzeImageContextMatchesAnalyzeImage(t *testing.T) {
+	img := buildImage(t, 17)
+	res, err := New(Options{}).AnalyzeImageContext(context.Background(), img)
+	if err != nil {
+		t.Fatalf("AnalyzeImageContext: %v", err)
+	}
+	if res.Partial() {
+		t.Errorf("clean run reported partial: %v", res.Errors)
+	}
+	base, err := New(Options{}).AnalyzeImage(img)
+	if err != nil {
+		t.Fatalf("AnalyzeImage: %v", err)
+	}
+	if len(res.Messages) != len(base.Messages) || res.Executable != base.Executable {
+		t.Errorf("context path diverged: %d/%q vs %d/%q",
+			len(res.Messages), res.Executable, len(base.Messages), base.Executable)
+	}
+}
+
+func TestAnalyzeImageContextExpiredDeadline(t *testing.T) {
+	img := buildImage(t, 17)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	_, err := New(Options{}).AnalyzeImageContext(ctx, img)
+	if !errors.Is(err, errdefs.ErrStageTimeout) {
+		t.Fatalf("err = %v, want ErrStageTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, does not wrap context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("expired context took %v to abort", d)
+	}
+}
+
+func TestAnalyzeImageContextCancelled(t *testing.T) {
+	img := buildImage(t, 17)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := New(Options{}).AnalyzeImageContext(ctx, img)
+	if !errors.Is(err, errdefs.ErrStageTimeout) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want ErrStageTimeout wrapping context.Canceled", err)
+	}
+}
+
+// stallClassifier sleeps on every classification, simulating a semantics
+// stage blow-up.
+type stallClassifier struct{ d time.Duration }
+
+func (c *stallClassifier) Classify(slices.Slice) (string, float64) {
+	time.Sleep(c.d)
+	return "None", 0
+}
+
+func TestStageBudgetDegradesSemantics(t *testing.T) {
+	img := buildImage(t, 17)
+	res, err := New(Options{
+		Classifier:   &stallClassifier{d: 100 * time.Millisecond},
+		StageTimeout: 30 * time.Millisecond,
+	}).AnalyzeImageContext(context.Background(), img)
+	if err != nil {
+		t.Fatalf("AnalyzeImageContext: %v", err)
+	}
+	if !res.Partial() {
+		t.Fatal("stalled semantics stage not recorded as partial")
+	}
+	var hit bool
+	for _, ae := range res.Errors {
+		if ae.Stage == StageSemantics.String() && errors.Is(ae.Err, errdefs.ErrStageTimeout) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("no stage-timeout error for %s: %v", StageSemantics, res.Errors)
+	}
+	// Earlier stages completed; later stages still ran on what was
+	// recovered (messages built without semantic labels).
+	if res.Executable == "" {
+		t.Error("pinpoint result lost")
+	}
+	if len(res.Messages) == 0 {
+		t.Error("concatenation did not run on recovered trees")
+	}
+}
+
+// panicClassifier crashes on the first classification.
+type panicClassifier struct{}
+
+func (panicClassifier) Classify(slices.Slice) (string, float64) { panic("classifier bug") }
+
+func TestStagePanicIsRecovered(t *testing.T) {
+	img := buildImage(t, 17)
+	res, err := New(Options{Classifier: panicClassifier{}}).
+		AnalyzeImageContext(context.Background(), img)
+	if err != nil {
+		t.Fatalf("panic escaped as fatal error: %v", err)
+	}
+	var hit bool
+	for _, ae := range res.Errors {
+		if errors.Is(ae.Err, errdefs.ErrStagePanic) && strings.Contains(ae.Err.Error(), "classifier bug") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("recovered panic not recorded: %v", res.Errors)
+	}
+	if len(res.Messages) == 0 {
+		t.Error("pipeline stopped after recovered panic")
+	}
+}
+
+func TestCorruptExecutableIsSkippedNotFatal(t *testing.T) {
+	img := buildImage(t, 17)
+	// A binary that advertises the FRB1 magic but truncates mid-header
+	// must be skipped with a recorded error, not sink the image.
+	img.AddFile("/bin/rotten", image.ModeExec, []byte("FRB1\x01\x02"))
+	res, err := New(Options{}).AnalyzeImageContext(context.Background(), img)
+	if err != nil {
+		t.Fatalf("AnalyzeImageContext: %v", err)
+	}
+	if res.Executable != "/bin/cloudd" {
+		t.Errorf("executable = %q", res.Executable)
+	}
+	var hit bool
+	for _, ae := range res.Errors {
+		if ae.Path == "/bin/rotten" &&
+			errors.Is(ae.Err, errdefs.ErrExecutableSkipped) &&
+			errors.Is(ae.Err, errdefs.ErrCorruptBinary) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("corrupt binary not recorded as skipped: %v", res.Errors)
+	}
+}
+
+func TestAllExecutablesCorruptIsFatal(t *testing.T) {
+	img := &image.Image{Device: "dead", Version: "1.0"}
+	img.AddFile("/bin/a", image.ModeExec, []byte("FRB1 trash"))
+	img.AddFile("/bin/b", image.ModeExec, []byte("FRB1\xff"))
+	res, err := New(Options{}).AnalyzeImageContext(context.Background(), img)
+	if !errors.Is(err, ErrNoDeviceCloudExecutable) {
+		t.Fatalf("err = %v, want ErrNoDeviceCloudExecutable", err)
+	}
+	if len(res.Errors) != 2 {
+		t.Errorf("skips recorded = %d, want 2: %v", len(res.Errors), res.Errors)
+	}
+}

@@ -6,19 +6,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
-	"firmres/internal/binfmt"
+	"firmres/internal/errdefs"
 	"firmres/internal/fields"
 	"firmres/internal/formcheck"
 	"firmres/internal/identify"
 	"firmres/internal/image"
 	"firmres/internal/mft"
 	"firmres/internal/nvram"
-	"firmres/internal/pcode"
 	"firmres/internal/semantics"
 	"firmres/internal/slices"
 	"firmres/internal/taint"
@@ -108,7 +108,15 @@ type Result struct {
 	// formatted-output assembly (the "-" rows of Table II).
 	ClusterCounts map[float64]int
 	Timing        Timing
+	// Errors records the work the pipeline skipped or abandoned while
+	// degrading gracefully: skipped executables, timed-out stages,
+	// recovered panics. Empty for a clean run.
+	Errors []errdefs.AnalysisError
 }
+
+// Partial reports whether the analysis degraded: some work was skipped or
+// abandoned and recorded in Errors.
+func (r *Result) Partial() bool { return len(r.Errors) > 0 }
 
 // FlaggedMessages returns the messages the form check marked.
 func (r *Result) FlaggedMessages() []*MessageResult {
@@ -129,6 +137,10 @@ type Options struct {
 	// Thresholds for delimiter clustering; defaults to the paper's
 	// 0.5/0.6/0.7.
 	ClusterThresholds []float64
+	// StageTimeout is the per-stage wall-clock budget. A stage exceeding it
+	// is abandoned and recorded in Result.Errors; the remaining stages run
+	// on whatever was recovered. Zero means no per-stage budget.
+	StageTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -153,116 +165,13 @@ func New(opts Options) *Pipeline {
 
 // ErrNoDeviceCloudExecutable is reported (wrapped) when no binary in the
 // image contains an asynchronous request handler — script-only devices.
-var ErrNoDeviceCloudExecutable = fmt.Errorf("no device-cloud executable identified")
+// It aliases the errdefs taxonomy sentinel.
+var ErrNoDeviceCloudExecutable = errdefs.ErrNoDeviceCloudExecutable
 
-// AnalyzeImage runs the full pipeline over one unpacked firmware image.
+// AnalyzeImage runs the full pipeline over one unpacked firmware image with
+// no deadline. See AnalyzeImageContext for budget-aware analysis.
 func (p *Pipeline) AnalyzeImage(img *image.Image) (*Result, error) {
-	res := &Result{Device: img.Device, Version: img.Version}
-
-	// Stage 1: pinpoint the device-cloud executable.
-	start := time.Now()
-	prog, path, handlers, err := p.pinpoint(img)
-	res.Timing[StagePinpoint] = time.Since(start)
-	if err != nil {
-		return res, err
-	}
-	res.Executable = path
-	res.Handlers = handlers
-
-	// Stage 2: identify message fields (backward taint, MFT construction).
-	start = time.Now()
-	engine := taint.NewEngine(prog, p.opts.Taint)
-	var mfts []*taint.MFT
-	for _, m := range engine.Analyze() {
-		mfts = append(mfts, mft.Split(m)...)
-	}
-	trees := make([]*mft.Tree, 0, len(mfts))
-	allSlices := make([][]slices.Slice, 0, len(mfts))
-	for _, m := range mfts {
-		tree := mft.Simplify(m)
-		trees = append(trees, tree)
-		allSlices = append(allSlices, slices.Generate(tree))
-	}
-	res.Timing[StageFields] = time.Since(start)
-
-	// Stage 3: recover field semantics.
-	start = time.Now()
-	infos := make([][]fields.SliceInfo, len(trees))
-	for i, sl := range allSlices {
-		for _, s := range sl {
-			label, conf := p.opts.Classifier.Classify(s)
-			infos[i] = append(infos[i], fields.SliceInfo{Slice: s, Label: label, Confidence: conf})
-		}
-	}
-	res.ClusterCounts = p.clusterCounts(mfts)
-	res.Timing[StageSemantics] = time.Since(start)
-
-	// Stage 4: concatenate fields into messages.
-	start = time.Now()
-	resolver := ResolverFromImage(img)
-	for i, tree := range trees {
-		msg := fields.Build(tree, infos[i], resolver)
-		res.Messages = append(res.Messages, MessageResult{
-			MFT: mfts[i], Tree: tree, Slices: allSlices[i],
-			Infos: infos[i], Message: msg,
-		})
-	}
-	res.Timing[StageConcat] = time.Since(start)
-
-	// Stage 5: check message forms.
-	start = time.Now()
-	for i := range res.Messages {
-		mr := &res.Messages[i]
-		if mr.Message.Discarded {
-			continue
-		}
-		mr.Finding = formcheck.Check(mr.Message, img)
-	}
-	res.Timing[StageFormCheck] = time.Since(start)
-	return res, nil
-}
-
-// pinpoint lifts every binary executable and returns the one with an
-// asynchronous request handler (§IV-A).
-func (p *Pipeline) pinpoint(img *image.Image) (*pcode.Program, string, []identify.Handler, error) {
-	type candidate struct {
-		prog     *pcode.Program
-		path     string
-		handlers []identify.Handler
-		score    float64
-	}
-	var best *candidate
-	for _, f := range img.Executables() {
-		if !f.IsBinary() {
-			continue // scripts are out of scope (§V-B)
-		}
-		bin, err := binfmt.Unmarshal(f.Data)
-		if err != nil {
-			continue // unparseable binaries are skipped, not fatal
-		}
-		prog, err := pcode.LiftProgram(bin)
-		if err != nil {
-			continue
-		}
-		idRes := identify.Analyze(prog, identify.WithMinScore(p.opts.MinScore))
-		if !idRes.IsDeviceCloud {
-			continue
-		}
-		score := 0.0
-		for _, h := range idRes.Handlers {
-			if h.Async && h.Score > score {
-				score = h.Score
-			}
-		}
-		c := &candidate{prog: prog, path: f.Path, handlers: idRes.Handlers, score: score}
-		if best == nil || c.score > best.score {
-			best = c
-		}
-	}
-	if best == nil {
-		return nil, "", nil, fmt.Errorf("core: %q: %w", img.Device, ErrNoDeviceCloudExecutable)
-	}
-	return best.prog, best.path, best.handlers, nil
+	return p.AnalyzeImageContext(context.Background(), img)
 }
 
 // clusterCounts runs the §IV-C delimiter clustering over the executable's

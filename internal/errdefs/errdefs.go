@@ -1,0 +1,95 @@
+// Package errdefs defines the structured error taxonomy of the analysis
+// pipeline. Large-corpus runs see every failure shape real firmware can
+// produce — truncated images, corrupt executables, taint blow-ups — and the
+// orchestrator degrades gracefully instead of dying: recoverable problems
+// are recorded as AnalysisError values on the report, fatal ones are
+// returned wrapping one of the sentinels below so callers can dispatch with
+// errors.Is.
+package errdefs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the pipeline taxonomy. Every error the pipeline
+// surfaces wraps exactly one of these.
+var (
+	// ErrCorruptImage marks a firmware image that failed structural
+	// validation (bad magic, checksum mismatch, truncated file table).
+	ErrCorruptImage = errors.New("corrupt firmware image")
+
+	// ErrCorruptBinary marks an executable inside an otherwise valid image
+	// that could not be parsed or lifted.
+	ErrCorruptBinary = errors.New("corrupt executable")
+
+	// ErrStageTimeout marks a pipeline stage cancelled because it exceeded
+	// its time budget (or because the caller's context expired). It wraps
+	// the context error, so errors.Is(err, context.DeadlineExceeded) also
+	// holds for deadline-driven cancellations.
+	ErrStageTimeout = errors.New("analysis stage exceeded its budget")
+
+	// ErrStagePanic marks a pipeline stage aborted by a recovered panic.
+	ErrStagePanic = errors.New("analysis stage panicked")
+
+	// ErrExecutableSkipped marks one candidate executable dropped during
+	// pinpointing (parse failure, lift failure, or per-executable panic)
+	// while the rest of the image kept analyzing.
+	ErrExecutableSkipped = errors.New("executable skipped")
+
+	// ErrNoDeviceCloudExecutable is reported when no binary in the image
+	// contains an asynchronous request handler — script-only devices.
+	ErrNoDeviceCloudExecutable = errors.New("no device-cloud executable identified")
+
+	// ErrProbeExhausted marks a cloud probe abandoned after its retry
+	// budget ran out.
+	ErrProbeExhausted = errors.New("probe retries exhausted")
+)
+
+// sentinels in display order, with their short kind slugs.
+var sentinels = []struct {
+	err  error
+	kind string
+}{
+	{ErrCorruptImage, "corrupt-image"},
+	{ErrCorruptBinary, "corrupt-binary"},
+	{ErrStageTimeout, "stage-timeout"},
+	{ErrStagePanic, "stage-panic"},
+	{ErrExecutableSkipped, "executable-skipped"},
+	{ErrNoDeviceCloudExecutable, "no-device-cloud-executable"},
+	{ErrProbeExhausted, "probe-exhausted"},
+}
+
+// Kind maps an error to the short slug of the taxonomy sentinel it wraps
+// ("stage-timeout", "corrupt-image", ...), or "error" for errors outside
+// the taxonomy.
+func Kind(err error) string {
+	for _, s := range sentinels {
+		if errors.Is(err, s.err) {
+			return s.kind
+		}
+	}
+	return "error"
+}
+
+// AnalysisError records one piece of work the pipeline skipped or
+// abandoned while producing a partial result.
+type AnalysisError struct {
+	Stage string // pipeline stage the failure occurred in
+	Path  string // executable or file involved, "" when stage-wide
+	Err   error  // underlying cause, wrapping a taxonomy sentinel
+}
+
+// Error renders the failure with its stage and subject.
+func (e *AnalysisError) Error() string {
+	if e.Path != "" {
+		return fmt.Sprintf("%s: %s: %v", e.Stage, e.Path, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is / errors.As.
+func (e *AnalysisError) Unwrap() error { return e.Err }
+
+// Kind returns the taxonomy slug of the underlying cause.
+func (e *AnalysisError) Kind() string { return Kind(e.Err) }

@@ -1,0 +1,91 @@
+package errdefs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	all := []error{
+		ErrCorruptImage, ErrCorruptBinary, ErrStageTimeout, ErrStagePanic,
+		ErrExecutableSkipped, ErrNoDeviceCloudExecutable, ErrProbeExhausted,
+	}
+	for i, a := range all {
+		for j, b := range all {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("sentinel %v matches unrelated sentinel %v", a, b)
+			}
+		}
+	}
+}
+
+func TestWrappedSentinels(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		sentinel error
+		kind     string
+	}{
+		{"corrupt-image", fmt.Errorf("image: %w: checksum", ErrCorruptImage), ErrCorruptImage, "corrupt-image"},
+		{"corrupt-binary", fmt.Errorf("%w: bad magic", ErrCorruptBinary), ErrCorruptBinary, "corrupt-binary"},
+		{"stage-timeout", fmt.Errorf("%w: %w", ErrStageTimeout, context.DeadlineExceeded), ErrStageTimeout, "stage-timeout"},
+		{"stage-panic", fmt.Errorf("%w: index out of range", ErrStagePanic), ErrStagePanic, "stage-panic"},
+		{"executable-skipped", fmt.Errorf("%w: /bin/x", ErrExecutableSkipped), ErrExecutableSkipped, "executable-skipped"},
+		{"no-device-cloud-executable", fmt.Errorf("core: %w", ErrNoDeviceCloudExecutable), ErrNoDeviceCloudExecutable, "no-device-cloud-executable"},
+		{"probe-exhausted", fmt.Errorf("%w after 3 attempts", ErrProbeExhausted), ErrProbeExhausted, "probe-exhausted"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if !errors.Is(tc.err, tc.sentinel) {
+				t.Errorf("errors.Is(%v, sentinel) = false", tc.err)
+			}
+			if got := Kind(tc.err); got != tc.kind {
+				t.Errorf("Kind = %q, want %q", got, tc.kind)
+			}
+			// Double-wrapping through an AnalysisError keeps the chain.
+			ae := &AnalysisError{Stage: "identify-fields", Err: tc.err}
+			if !errors.Is(ae, tc.sentinel) {
+				t.Errorf("AnalysisError does not unwrap to sentinel %v", tc.sentinel)
+			}
+			if ae.Kind() != tc.kind {
+				t.Errorf("AnalysisError.Kind = %q, want %q", ae.Kind(), tc.kind)
+			}
+		})
+	}
+}
+
+func TestStageTimeoutWrapsContextError(t *testing.T) {
+	err := fmt.Errorf("%w: identify-fields: %w", ErrStageTimeout, context.DeadlineExceeded)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("deadline cause lost")
+	}
+	if !errors.Is(err, ErrStageTimeout) {
+		t.Error("sentinel lost")
+	}
+}
+
+func TestAnalysisErrorAs(t *testing.T) {
+	var target *AnalysisError
+	err := fmt.Errorf("pipeline: %w",
+		&AnalysisError{Stage: "pinpoint-executables", Path: "/bin/cloudd", Err: ErrExecutableSkipped})
+	if !errors.As(err, &target) {
+		t.Fatal("errors.As failed to find AnalysisError")
+	}
+	if target.Path != "/bin/cloudd" || target.Stage != "pinpoint-executables" {
+		t.Errorf("recovered wrong value: %+v", target)
+	}
+	if want := "pinpoint-executables: /bin/cloudd: executable skipped"; target.Error() != want {
+		t.Errorf("Error() = %q, want %q", target.Error(), want)
+	}
+	if (&AnalysisError{Stage: "s", Err: ErrStagePanic}).Error() != "s: analysis stage panicked" {
+		t.Error("pathless Error() format wrong")
+	}
+}
+
+func TestKindUnknown(t *testing.T) {
+	if got := Kind(errors.New("other")); got != "error" {
+		t.Errorf("Kind(unknown) = %q", got)
+	}
+}

@@ -1,0 +1,269 @@
+// Package faultinject deterministically corrupts firmware images for
+// robustness testing. Large crawled corpora are dominated by truncated
+// downloads, bit-rotted flash dumps, and adversarial uploads; the pipeline
+// must survive all of them. Each Mode models one corruption family, from
+// raw container damage (truncation, bit flips) through structured binfmt
+// damage (bad section headers, oversized string tables) to semantic damage
+// the parsers accept but the analyses must bound (cyclic call graphs).
+//
+// Corruption is a pure function of (data, mode, seed): the same inputs
+// always yield the same corrupted image, so failing cases reproduce.
+package faultinject
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+
+	"firmres/internal/binfmt"
+	"firmres/internal/image"
+	"firmres/internal/isa"
+)
+
+// Mode names one corruption family.
+type Mode string
+
+// Corruption modes.
+const (
+	// ModeTruncate cuts the image off at a seed-chosen point, as an
+	// interrupted download would.
+	ModeTruncate Mode = "truncate"
+
+	// ModeBitFlip flips a handful of seed-chosen bits anywhere in the
+	// image, as flash rot would.
+	ModeBitFlip Mode = "bit-flip"
+
+	// ModeBadMagic corrupts the container magic.
+	ModeBadMagic Mode = "bad-magic"
+
+	// ModeBadChecksum rewrites the trailing CRC so the payload no longer
+	// verifies.
+	ModeBadChecksum Mode = "bad-checksum"
+
+	// ModeBadSectionHeader corrupts section ids and lengths inside one
+	// executable's binfmt container, then repacks the image with a valid
+	// outer checksum so the damage reaches the binary parser.
+	ModeBadSectionHeader Mode = "bad-section-header"
+
+	// ModeOversizedStrings inflates string-length prefixes inside one
+	// executable to multi-gigabyte values, probing for unguarded
+	// allocations in the parser.
+	ModeOversizedStrings Mode = "oversized-string-table"
+
+	// ModeHugeFileCount rewrites the image's file-count header to a huge
+	// value, probing the container parser's allocation guards.
+	ModeHugeFileCount Mode = "huge-file-count"
+
+	// ModeCyclicCallGraph rewrites call targets inside the device-cloud
+	// executable so the call graph contains cycles (self-loops and mutual
+	// recursion). The result parses cleanly; the downstream analyses must
+	// terminate anyway.
+	ModeCyclicCallGraph Mode = "cyclic-call-graph"
+
+	// ModeGarbageExecutable replaces one executable's body with seeded
+	// noise behind a valid FRB1 magic.
+	ModeGarbageExecutable Mode = "garbage-executable"
+)
+
+// Modes lists every corruption mode, in a stable order.
+func Modes() []Mode {
+	return []Mode{
+		ModeTruncate, ModeBitFlip, ModeBadMagic, ModeBadChecksum,
+		ModeBadSectionHeader, ModeOversizedStrings, ModeHugeFileCount,
+		ModeCyclicCallGraph, ModeGarbageExecutable,
+	}
+}
+
+// Corrupt applies one corruption mode to a packed firmware image. The
+// output depends only on (data, mode, seed). The input slice is never
+// modified.
+func Corrupt(data []byte, mode Mode, seed int64) ([]byte, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]byte(nil), data...)
+	switch mode {
+	case ModeTruncate:
+		if len(out) < 2 {
+			return out, nil
+		}
+		// Cut somewhere in (0, len): always strictly shorter.
+		return out[:1+rng.Intn(len(out)-1)], nil
+	case ModeBitFlip:
+		for i := 0; i < 8; i++ {
+			pos := rng.Intn(len(out))
+			out[pos] ^= 1 << uint(rng.Intn(8))
+		}
+		return out, nil
+	case ModeBadMagic:
+		for i := 0; i < len(image.Magic) && i < len(out); i++ {
+			out[i] ^= 0xff
+		}
+		return out, nil
+	case ModeBadChecksum:
+		if len(out) < 4 {
+			return out, nil
+		}
+		out[len(out)-4+rng.Intn(4)] ^= 0xff
+		return out, nil
+	case ModeHugeFileCount:
+		return corruptFileCount(out, rng)
+	case ModeBadSectionHeader:
+		return corruptBinary(out, rng, smashSectionHeader)
+	case ModeOversizedStrings:
+		return corruptBinary(out, rng, inflateStringLengths)
+	case ModeGarbageExecutable:
+		return corruptBinary(out, rng, func(data []byte, rng *rand.Rand) []byte {
+			noise := make([]byte, 64+rng.Intn(192))
+			rng.Read(noise)
+			return append([]byte(binfmt.Magic), noise...)
+		})
+	case ModeCyclicCallGraph:
+		return corruptBinary(out, rng, makeCallGraphCyclic)
+	default:
+		return nil, fmt.Errorf("faultinject: unknown mode %q", mode)
+	}
+}
+
+// corruptFileCount parses the image header far enough to find the u32 file
+// count, rewrites it to a huge value, and restores the trailing CRC so the
+// lie survives the integrity check.
+func corruptFileCount(out []byte, rng *rand.Rand) ([]byte, error) {
+	if len(out) < len(image.Magic)+12 {
+		return out, nil
+	}
+	off := len(image.Magic)
+	// Skip the device and version length-prefixed strings.
+	for i := 0; i < 2; i++ {
+		if off+4 > len(out) {
+			return out, nil
+		}
+		n := binary.LittleEndian.Uint32(out[off:])
+		off += 4 + int(n)
+		if off > len(out) {
+			return out, nil
+		}
+	}
+	if off+4 > len(out)-4 {
+		return out, nil
+	}
+	binary.LittleEndian.PutUint32(out[off:], 0x7fff_0000+uint32(rng.Intn(1<<16)))
+	refreshChecksum(out)
+	return out, nil
+}
+
+// corruptBinary unpacks the image, applies mutate to one seed-chosen FRB1
+// executable, and repacks with a valid checksum, so the corruption reaches
+// the layers beneath the container parser.
+func corruptBinary(out []byte, rng *rand.Rand, mutate func([]byte, *rand.Rand) []byte) ([]byte, error) {
+	img, err := image.Unpack(out)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: structured mode needs a valid image: %w", err)
+	}
+	var bins []*image.File
+	for i := range img.Files {
+		if img.Files[i].IsBinary() {
+			bins = append(bins, &img.Files[i])
+		}
+	}
+	if len(bins) == 0 {
+		return nil, fmt.Errorf("faultinject: no FRB1 executables to corrupt")
+	}
+	f := bins[rng.Intn(len(bins))]
+	f.Data = mutate(append([]byte(nil), f.Data...), rng)
+	return img.Pack(), nil
+}
+
+// smashSectionHeader flips section id bytes and blows up section length
+// fields past the end of the file.
+func smashSectionHeader(data []byte, rng *rand.Rand) []byte {
+	// Layout: magic(4) textBase(4) dataBase(4), then id(1) len(4) body...
+	off := 12
+	for hop := rng.Intn(4); hop > 0 && off+5 <= len(data); hop-- {
+		n := binary.LittleEndian.Uint32(data[off+1:])
+		if off+5+int(n) > len(data) {
+			break
+		}
+		off += 5 + int(n)
+	}
+	if off+5 <= len(data) {
+		data[off] = byte(200 + rng.Intn(55))                                // unknown section id
+		binary.LittleEndian.PutUint32(data[off+1:], uint32(len(data))*16+7) // length past EOF
+	}
+	return data
+}
+
+// inflateStringLengths rewrites plausible string-length prefixes (small u32
+// values followed by printable bytes) to multi-gigabyte counts.
+func inflateStringLengths(data []byte, rng *rand.Rand) []byte {
+	hits := 0
+	for off := 12; off+8 <= len(data) && hits < 4; off++ {
+		n := binary.LittleEndian.Uint32(data[off:])
+		if n == 0 || n > 64 || off+4+int(n) > len(data) {
+			continue
+		}
+		s := data[off+4 : off+4+int(n)]
+		printable := true
+		for _, c := range s {
+			if c < 0x20 || c > 0x7e {
+				printable = false
+				break
+			}
+		}
+		if !printable {
+			continue
+		}
+		binary.LittleEndian.PutUint32(data[off:], 0x4000_0000+uint32(rng.Intn(1<<20)))
+		hits++
+		off += 4 + int(n)
+	}
+	return data
+}
+
+// makeCallGraphCyclic decodes the executable and rewrites local call
+// targets: some calls become self-loops, and the first two functions call
+// each other. The mutated binary re-marshals cleanly.
+func makeCallGraphCyclic(data []byte, rng *rand.Rand) []byte {
+	bin, err := binfmt.Unmarshal(data)
+	if err != nil || len(bin.Funcs) == 0 || len(bin.Text)%isa.InstrSize != 0 {
+		return data // not mutable at this level; hand back unchanged
+	}
+	instrs, err := isa.DecodeAll(bin.Text)
+	if err != nil {
+		return data
+	}
+	funcAt := func(addr uint32) (binfmt.FuncSym, bool) { return bin.FuncAt(addr) }
+	var text bytes.Buffer
+	calls := 0
+	for i, in := range instrs {
+		addr := bin.TextBase + uint32(i*isa.InstrSize)
+		if in.Op == isa.OpCall {
+			owner, ok := funcAt(addr)
+			if ok {
+				switch calls % 3 {
+				case 0:
+					in.Imm = int32(owner.Addr) // direct recursion
+				case 1:
+					if len(bin.Funcs) > 1 {
+						// Call a seed-chosen other function, forming larger
+						// cycles across the graph.
+						in.Imm = int32(bin.Funcs[rng.Intn(len(bin.Funcs))].Addr)
+					}
+				}
+				calls++
+			}
+		}
+		text.Write(in.Encode(nil))
+	}
+	bin.Text = text.Bytes()
+	return bin.Marshal()
+}
+
+// refreshChecksum recomputes the trailing CRC over the mutated payload.
+func refreshChecksum(out []byte) {
+	if len(out) < 4 {
+		return
+	}
+	sum := crc32.ChecksumIEEE(out[:len(out)-4])
+	binary.LittleEndian.PutUint32(out[len(out)-4:], sum)
+}

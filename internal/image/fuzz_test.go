@@ -1,0 +1,42 @@
+package image
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnpack hammers the container parser: whatever the bytes, Unpack must
+// return an image or an error — never panic, never over-allocate on lying
+// headers — and any image it accepts must round-trip through Pack.
+func FuzzUnpack(f *testing.F) {
+	// Seed 1: a small valid image.
+	small := &Image{Device: "FuzzCam FC-1", Version: "1.0.0"}
+	small.AddFile("/bin/cloudd", ModeExec, []byte("FRB1fakebinary"))
+	small.AddFile("/etc/nvram.defaults", 0, []byte("mac=00:11:22:33:44:55\n"))
+	f.Add(small.Pack())
+	// Seed 2: an empty image.
+	f.Add((&Image{}).Pack())
+	// Seed 3: valid header, truncated body.
+	packed := small.Pack()
+	f.Add(packed[:len(packed)/2])
+	// Seed 4: plain garbage.
+	f.Add([]byte("FIRMxxxxyyyyzzzz"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		repacked := img.Pack()
+		again, err := Unpack(repacked)
+		if err != nil {
+			t.Fatalf("accepted image does not round-trip: %v", err)
+		}
+		if again.Device != img.Device || again.Version != img.Version || len(again.Files) != len(img.Files) {
+			t.Fatalf("round-trip changed the image: %+v vs %+v", again, img)
+		}
+		if !bytes.Equal(again.Pack(), repacked) {
+			t.Fatal("Pack is not canonical")
+		}
+	})
+}

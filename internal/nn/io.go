@@ -52,16 +52,18 @@ func Load(r io.Reader) (*Model, error) {
 	}, nil
 }
 
-// Clone deep-copies the model (used by ablation benchmarks that perturb
-// weights).
-func (m *Model) Clone() *Model {
+// Clone deep-copies the model by round-tripping it through the save format
+// (used by ablation benchmarks that perturb weights). A model that cannot
+// serialize — e.g. one rebuilt from a corrupt file — returns an error
+// instead of crashing the analysis.
+func (m *Model) Clone() (*Model, error) {
 	var buf bytes.Buffer
 	if err := m.Save(&buf); err != nil {
-		panic("nn: clone save: " + err.Error())
+		return nil, fmt.Errorf("nn: clone: %w", err)
 	}
 	c, err := Load(&buf)
 	if err != nil {
-		panic("nn: clone load: " + err.Error())
+		return nil, fmt.Errorf("nn: clone: %w", err)
 	}
-	return c
+	return c, nil
 }

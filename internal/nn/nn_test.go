@@ -222,6 +222,35 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestCloneRoundTrip(t *testing.T) {
+	samples, labels := trainingSet()
+	var tokenized [][]string
+	for _, s := range samples {
+		tokenized = append(tokenized, s.Tokens)
+	}
+	v := BuildVocab(tokenized, 1)
+	m := NewModel(Config{EmbedDim: 8, Filters: 4, MaxLen: 12, Epochs: 1, Seed: 2}, v, labels)
+	m.Train(samples)
+
+	c, err := m.Clone()
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	// Mutating the clone must not touch the original.
+	c.FCW[0] += 1
+	if m.FCW[0] == c.FCW[0] {
+		t.Error("Clone shares weight storage with the original")
+	}
+	c.FCW[0] -= 1
+	for _, s := range samples[:3] {
+		p1, _ := m.Predict(s.Tokens)
+		p2, _ := c.Predict(s.Tokens)
+		if p1 != p2 {
+			t.Error("clone predicts differently")
+		}
+	}
+}
+
 func TestSplitDatasetRatios(t *testing.T) {
 	samples := make([]Sample, 100)
 	train, val, test := SplitDataset(samples, 1)

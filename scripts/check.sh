@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# check.sh — the canonical verify command for this repo.
+#
+# Runs static analysis, a full build, the race-enabled test suite, and a
+# short fuzz pass over the two hostile-input parsers. CI and pre-merge
+# checks should invoke this (or `make check`, which delegates here).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== fuzz image.Unpack (${FUZZTIME})"
+go test -fuzz=FuzzUnpack -fuzztime="${FUZZTIME}" -run='^$' ./internal/image
+
+echo "== fuzz binfmt.Unmarshal (${FUZZTIME})"
+go test -fuzz=FuzzUnmarshal -fuzztime="${FUZZTIME}" -run='^$' ./internal/binfmt
+
+echo "== all checks passed"
