@@ -17,6 +17,7 @@ import (
 	"firmres/internal/corpus"
 	"firmres/internal/experiments"
 	"firmres/internal/identify"
+	"firmres/internal/lint"
 	"firmres/internal/mft"
 	"firmres/internal/nn"
 	"firmres/internal/pcode"
@@ -302,4 +303,28 @@ func BenchmarkScalingByMessages(b *testing.B) {
 			b.ReportMetric(float64(fields), "fields")
 		})
 	}
+}
+
+// BenchmarkLintPipeline measures the lint pass framework — all registered
+// checkers, including the per-function constant-propagation solve — over
+// one lifted device-cloud executable.
+func BenchmarkLintPipeline(b *testing.B) {
+	bin, err := corpus.EmitDeviceCloudBinary(corpus.Device(17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := pcode.LiftProgram(bin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := lint.NewRunner(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var findings int
+	for i := 0; i < b.N; i++ {
+		findings = len(runner.Run(prog, "/bin/cloudd"))
+	}
+	b.ReportMetric(float64(findings), "findings")
 }

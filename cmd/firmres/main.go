@@ -4,7 +4,9 @@
 //
 // Usage:
 //
-//	firmres [-model file] [-json] [-stage-timeout d] [-keep-going] image.img [image2.img ...]
+//	firmres [-model file] [-json] [-stage-timeout d] [-keep-going]
+//	        [-lint] [-lint-rules r1,r2] [-lint-json] [-timings]
+//	        image.img [image2.img ...]
 //
 // Exit codes: 0 when every image analyzed cleanly, 1 when any image failed
 // fatally, 2 on usage errors, 3 when every image produced a report but at
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"firmres"
@@ -35,6 +38,10 @@ type options struct {
 	modelPath    string
 	asJSON       bool
 	stageTimeout time.Duration
+	lint         bool
+	lintRules    string
+	lintJSON     bool
+	timings      bool
 }
 
 func main() {
@@ -43,11 +50,19 @@ func main() {
 	flag.BoolVar(&opts.asJSON, "json", false, "emit the report as JSON")
 	flag.DurationVar(&opts.stageTimeout, "stage-timeout", 0,
 		"per-stage analysis budget; over-budget stages are skipped and recorded (0 = unlimited)")
+	flag.BoolVar(&opts.lint, "lint", false,
+		"run the lint passes over the identified executable and print diagnostics")
+	flag.StringVar(&opts.lintRules, "lint-rules", "",
+		"comma-separated lint rules to run (implies -lint; default: all)")
+	flag.BoolVar(&opts.lintJSON, "lint-json", false,
+		"emit lint diagnostics as a SARIF 2.1.0 document instead of the text report (implies -lint)")
+	flag.BoolVar(&opts.timings, "timings", false,
+		"print the per-stage timing breakdown in the text report")
 	keepGoing := flag.Bool("keep-going", false,
 		"keep analyzing remaining images after a fatal per-image failure")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] [-stage-timeout d] [-keep-going] image.img ...")
+		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-lint] [-lint-rules r1,r2] [-lint-json] [-timings] image.img ...")
 		os.Exit(exitUsage)
 	}
 	exit := exitOK
@@ -77,6 +92,17 @@ func analyze(w io.Writer, path string, opts options) (partial bool, err error) {
 	if opts.stageTimeout > 0 {
 		apiOpts = append(apiOpts, firmres.WithStageTimeout(opts.stageTimeout))
 	}
+	if opts.lintRules != "" {
+		var rules []string
+		for _, r := range strings.Split(opts.lintRules, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				rules = append(rules, r)
+			}
+		}
+		apiOpts = append(apiOpts, firmres.WithLintRules(rules...))
+	} else if opts.lint || opts.lintJSON {
+		apiOpts = append(apiOpts, firmres.WithLint())
+	}
 	report, err := firmres.AnalyzeFile(path, apiOpts...)
 	if errors.Is(err, firmres.ErrNoDeviceCloudExecutable) {
 		fmt.Fprintf(w, "%s: no device-cloud executable (script-based cloud agent?)\n", path)
@@ -85,16 +111,19 @@ func analyze(w io.Writer, path string, opts options) (partial bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	if opts.lintJSON {
+		return report.Partial(), firmres.WriteSARIF(w, report.Diagnostics)
+	}
 	if opts.asJSON {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return report.Partial(), enc.Encode(report)
 	}
-	printReport(w, path, report)
+	printReport(w, path, report, opts)
 	return report.Partial(), nil
 }
 
-func printReport(w io.Writer, path string, r *firmres.Report) {
+func printReport(w io.Writer, path string, r *firmres.Report, opts options) {
 	fmt.Fprintf(w, "== %s — %s (%s)\n", path, r.Device, r.Version)
 	fmt.Fprintf(w, "   device-cloud executable: %s\n", r.Executable)
 	if r.ClusterCounts != nil {
@@ -127,6 +156,25 @@ func printReport(w io.Writer, path string, r *firmres.Report) {
 		}
 	}
 	fmt.Fprintf(w, "   %d messages reconstructed, %d flagged\n", len(r.Messages), flagged)
+	if opts.lint || opts.lintRules != "" {
+		if len(r.Diagnostics) == 0 {
+			fmt.Fprintf(w, "   lint: clean\n")
+		} else {
+			fmt.Fprintf(w, "   lint: %d finding(s)\n", len(r.Diagnostics))
+			for _, d := range r.Diagnostics {
+				fmt.Fprintf(w, "     - [%s] %s %s@%#x: %s\n", d.Severity, d.Rule, d.Function, d.Addr, d.Message)
+				for _, ev := range d.Evidence {
+					fmt.Fprintf(w, "         %s\n", ev)
+				}
+			}
+		}
+	}
+	if opts.timings {
+		fmt.Fprintf(w, "   stage timings:\n")
+		for _, name := range firmres.StageNames() {
+			fmt.Fprintf(w, "     %-24s %v\n", name, r.StageTimings[name])
+		}
+	}
 	if r.Partial() {
 		fmt.Fprintf(w, "   PARTIAL: %d analysis step(s) degraded:\n", len(r.Errors))
 		for _, ae := range r.Errors {

@@ -51,6 +51,95 @@ func TestAnalyzeJSONOutput(t *testing.T) {
 	}
 }
 
+func TestAnalyzeLintTextOutput(t *testing.T) {
+	path := writeImage(t, 11)
+	render := func() string {
+		var out bytes.Buffer
+		if _, err := analyze(&out, path, options{lint: true}); err != nil {
+			t.Fatalf("analyze -lint: %v", err)
+		}
+		return out.String()
+	}
+	text := render()
+	for _, want := range []string{"lint: 2 finding(s)", "hardcoded-secret", "svc_auth_fallback", "dead-store", "svc_stats_tick"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("lint output lacks %q:\n%s", want, text)
+		}
+	}
+	if again := render(); again != text {
+		t.Errorf("lint text output not byte-identical across runs:\n--- a ---\n%s--- b ---\n%s", text, again)
+	}
+}
+
+func TestAnalyzeLintRulesFilter(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := analyze(&out, writeImage(t, 11), options{lintRules: "dead-store"}); err != nil {
+		t.Fatalf("analyze -lint-rules: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "dead-store") {
+		t.Errorf("selected rule missing: %q", text)
+	}
+	if strings.Contains(text, "hardcoded-secret svc_auth_fallback") {
+		t.Errorf("rule filter leaked other rules: %q", text)
+	}
+	if _, err := analyze(&out, writeImage(t, 11), options{lintRules: "bogus"}); err == nil {
+		t.Error("unknown rule accepted")
+	}
+}
+
+func TestAnalyzeLintCleanDevice(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := analyze(&out, writeImage(t, 4), options{lint: true}); err != nil {
+		t.Fatalf("analyze -lint: %v", err)
+	}
+	if !strings.Contains(out.String(), "lint: clean") {
+		t.Errorf("clean device not reported clean: %q", out.String())
+	}
+}
+
+func TestAnalyzeLintSARIFOutput(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := analyze(&out, writeImage(t, 11), options{lintJSON: true}); err != nil {
+		t.Fatalf("analyze -lint-json: %v", err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 || doc.Runs[0].Tool.Driver.Name != "firmres-lint" {
+		t.Errorf("SARIF shape wrong: %+v", doc)
+	}
+	if len(doc.Runs[0].Results) != 2 {
+		t.Errorf("SARIF results = %d, want 2", len(doc.Runs[0].Results))
+	}
+}
+
+func TestAnalyzeTimingsFlag(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := analyze(&out, writeImage(t, 5), options{timings: true}); err != nil {
+		t.Fatalf("analyze -timings: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"stage timings:", "pinpoint-executables", "lint-passes"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("timings output lacks %q: %q", want, text)
+		}
+	}
+}
+
 func TestAnalyzeScriptOnlyIsNotAnError(t *testing.T) {
 	var out bytes.Buffer
 	if _, err := analyze(&out, writeImage(t, 21), options{}); err != nil {

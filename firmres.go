@@ -23,12 +23,15 @@ package firmres
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"time"
 
 	"firmres/internal/core"
 	"firmres/internal/errdefs"
 	"firmres/internal/image"
+	"firmres/internal/lint"
 	"firmres/internal/nn"
 	"firmres/internal/semantics"
 )
@@ -59,17 +62,31 @@ type Message struct {
 	Detail    string // human-readable finding
 }
 
+// Diagnostic is one lint-pass finding over the device-cloud executable: a
+// security- or correctness-relevant code shape proven by the static
+// analyses (constant propagation, dominators, def-use), reported against
+// the function containing it.
+type Diagnostic struct {
+	Rule       string   // checker rule name ("hardcoded-secret", ...)
+	Severity   string   // error / warning / info
+	Executable string   // executable path the finding is in
+	Function   string   // containing function
+	Addr       uint64   // instruction address of the finding
+	Message    string   // human-readable finding
+	Evidence   []string `json:",omitempty"` // key=value proof fragments
+}
+
 // AnalysisError records one piece of work the pipeline skipped or
 // abandoned while producing a partial Report: a corrupt executable, a
 // timed-out stage, a recovered panic. Err wraps one of the package's
 // sentinel errors, so errors.Is dispatch works; Detail carries the rendered
 // cause for JSON output.
 type AnalysisError struct {
-	Stage  string `json:"stage"`            // pipeline stage ("identify-fields", ...)
-	Path   string `json:"path,omitempty"`   // executable involved, "" when stage-wide
-	Kind   string `json:"kind"`             // taxonomy slug ("stage-timeout", ...)
-	Detail string `json:"detail"`           // human-readable cause
-	Err    error  `json:"-"`                // underlying cause for errors.Is / errors.As
+	Stage  string `json:"stage"`          // pipeline stage ("identify-fields", ...)
+	Path   string `json:"path,omitempty"` // executable involved, "" when stage-wide
+	Kind   string `json:"kind"`           // taxonomy slug ("stage-timeout", ...)
+	Detail string `json:"detail"`         // human-readable cause
+	Err    error  `json:"-"`              // underlying cause for errors.Is / errors.As
 }
 
 // Error renders the failure.
@@ -91,6 +108,10 @@ type Report struct {
 	Messages      []Message
 	ClusterCounts map[string]int // "0.5"/"0.6"/"0.7" -> delimiter clusters; nil without sprintf
 	StageTimings  map[string]time.Duration
+	// Diagnostics lists the lint-pass findings over the identified
+	// executable, deduplicated and deterministically ordered. Populated only
+	// when WithLint is set.
+	Diagnostics []Diagnostic `json:",omitempty"`
 	// Errors lists the work the pipeline skipped or abandoned while
 	// degrading gracefully. Empty for a clean run; see Partial.
 	Errors []AnalysisError `json:",omitempty"`
@@ -102,6 +123,17 @@ func (r *Report) Partial() bool { return len(r.Errors) > 0 }
 
 // Labels lists the semantic classes in canonical order.
 func Labels() []string { return append([]string(nil), semantics.Labels...) }
+
+// StageNames lists the pipeline stage names in execution order — the keys
+// of Report.StageTimings.
+func StageNames() []string {
+	stages := core.Stages()
+	out := make([]string, len(stages))
+	for i, s := range stages {
+		out[i] = s.String()
+	}
+	return out
+}
 
 // Sentinel errors of the analysis taxonomy. Every error the package
 // returns, and every Report.Errors entry, wraps one of these; dispatch
@@ -176,6 +208,42 @@ func WithStageTimeout(d time.Duration) Option {
 	return func(c *config) { c.opts.StageTimeout = d }
 }
 
+// WithLint enables the lint-pass stage: pluggable checkers run over every
+// lifted function of the identified executable and report Diagnostics.
+func WithLint() Option {
+	return func(c *config) { c.opts.Lint = true }
+}
+
+// WithLintRules enables the lint-pass stage restricted to the named rules.
+// An unknown rule name fails the analysis with a configuration error.
+func WithLintRules(rules ...string) Option {
+	return func(c *config) {
+		c.opts.Lint = true
+		c.opts.LintRules = rules
+	}
+}
+
+// LintRules lists the registered lint rule names in sorted order.
+func LintRules() []string { return lint.Rules() }
+
+// WriteSARIF renders lint diagnostics as a SARIF 2.1.0 document (one run,
+// driver "firmres-lint"), deterministically ordered.
+func WriteSARIF(w io.Writer, diags []Diagnostic) error {
+	conv := make([]lint.Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		conv = append(conv, lint.Diagnostic{
+			Rule:       d.Rule,
+			Severity:   lint.ParseSeverity(d.Severity),
+			Executable: d.Executable,
+			Function:   d.Function,
+			Addr:       uint32(d.Addr),
+			Message:    d.Message,
+			Evidence:   d.Evidence,
+		})
+	}
+	return lint.WriteSARIF(w, conv)
+}
+
 // AnalyzeImage analyzes a packed firmware image.
 func AnalyzeImage(data []byte, opts ...Option) (*Report, error) {
 	return AnalyzeImageContext(context.Background(), data, opts...)
@@ -246,6 +314,32 @@ func reportOf(res *core.Result) *Report {
 			Kind:   ae.Kind(),
 			Detail: ae.Err.Error(),
 			Err:    ae.Err,
+		})
+	}
+	// Degradation order depends on scheduling (which stage hit its budget
+	// first); sort by stable keys so repeated runs render identically.
+	sort.Slice(r.Errors, func(i, j int) bool {
+		a, b := r.Errors[i], r.Errors[j]
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Detail < b.Detail
+	})
+	for _, d := range res.Diagnostics {
+		r.Diagnostics = append(r.Diagnostics, Diagnostic{
+			Rule:       d.Rule,
+			Severity:   d.Severity.String(),
+			Executable: d.Executable,
+			Function:   d.Function,
+			Addr:       uint64(d.Addr),
+			Message:    d.Message,
+			Evidence:   d.Evidence,
 		})
 	}
 	core.SortMessagesByFunction(res.Messages)

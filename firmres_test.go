@@ -2,6 +2,7 @@ package firmres
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -44,8 +45,77 @@ func TestAnalyzeImagePublicAPI(t *testing.T) {
 	if report.ClusterCounts["0.5"] > report.ClusterCounts["0.7"] {
 		t.Errorf("cluster counts inverted: %v", report.ClusterCounts)
 	}
-	if len(report.StageTimings) != 5 {
+	if len(report.StageTimings) != 6 {
 		t.Errorf("stage timings = %v", report.StageTimings)
+	}
+}
+
+func TestAnalyzeImageWithLint(t *testing.T) {
+	data := packedDevice(t, 11)
+	report, err := AnalyzeImage(data, WithLint())
+	if err != nil {
+		t.Fatalf("AnalyzeImage: %v", err)
+	}
+	got := map[string]bool{}
+	for _, d := range report.Diagnostics {
+		got[d.Rule+"@"+d.Function] = true
+		if d.Executable != "/bin/cloudd" || d.Severity == "" || d.Message == "" {
+			t.Errorf("diagnostic incomplete: %+v", d)
+		}
+	}
+	for _, want := range []string{"hardcoded-secret@svc_auth_fallback", "dead-store@svc_stats_tick"} {
+		if !got[want] {
+			t.Errorf("missing seeded diagnostic %s in %v", want, got)
+		}
+	}
+
+	// Without WithLint the stage is skipped and the report carries none.
+	plain, err := AnalyzeImage(data)
+	if err != nil {
+		t.Fatalf("AnalyzeImage: %v", err)
+	}
+	if len(plain.Diagnostics) != 0 {
+		t.Errorf("lint ran without WithLint: %v", plain.Diagnostics)
+	}
+
+	// Rule selection narrows the output; unknown rules fail the analysis.
+	only, err := AnalyzeImage(data, WithLintRules("dead-store"))
+	if err != nil {
+		t.Fatalf("AnalyzeImage: %v", err)
+	}
+	for _, d := range only.Diagnostics {
+		if d.Rule != "dead-store" {
+			t.Errorf("rule filter leaked %s", d.Rule)
+		}
+	}
+	if len(only.Diagnostics) == 0 {
+		t.Error("dead-store selection found nothing on device 11")
+	}
+	if _, err := AnalyzeImage(data, WithLintRules("no-such-rule")); err == nil {
+		t.Error("unknown lint rule accepted")
+	}
+}
+
+func TestDiagnosticsDeterministic(t *testing.T) {
+	data := packedDevice(t, 11)
+	run := func() []Diagnostic {
+		report, err := AnalyzeImage(data, WithLint())
+		if err != nil {
+			t.Fatalf("AnalyzeImage: %v", err)
+		}
+		return report.Diagnostics
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no diagnostics on seeded device")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("diagnostic counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if fmt.Sprintf("%+v", a[i]) != fmt.Sprintf("%+v", b[i]) {
+			t.Errorf("diagnostic %d differs across runs:\n%+v\n%+v", i, a[i], b[i])
+		}
 	}
 }
 

@@ -1,0 +1,92 @@
+package firmres
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"firmres/internal/corpus"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden end-to-end reports")
+
+// goldenRecord is the stable projection of one device's analysis: the full
+// report with wall-clock timings stripped, or the fatal outcome for images
+// with no device-cloud executable (script-only devices 21-22).
+type goldenRecord struct {
+	Device  int     `json:"device"`
+	Outcome string  `json:"outcome"` // "report" or "no-device-cloud-executable"
+	Report  *Report `json:"report,omitempty"`
+}
+
+func goldenPath(id int) string {
+	return filepath.Join("testdata", "golden", fmt.Sprintf("device_%02d.json", id))
+}
+
+func goldenRecordFor(t *testing.T, id int) *goldenRecord {
+	t.Helper()
+	img, err := corpus.BuildImage(corpus.Device(id))
+	if err != nil {
+		t.Fatalf("BuildImage(%d): %v", id, err)
+	}
+	rec := &goldenRecord{Device: id}
+	report, err := AnalyzeImage(img.Pack(), WithLint())
+	switch {
+	case err == nil:
+		report.StageTimings = nil // wall-clock, never golden
+		rec.Outcome = "report"
+		rec.Report = report
+	case errors.Is(err, ErrNoDeviceCloudExecutable):
+		rec.Outcome = "no-device-cloud-executable"
+	default:
+		t.Fatalf("AnalyzeImage(%d): %v", id, err)
+	}
+	return rec
+}
+
+// TestGoldenReports locks the end-to-end analysis output (lint included)
+// for the whole 22-device corpus. Regenerate with `go test -run
+// TestGoldenReports -update .` after an intentional behavior change.
+func TestGoldenReports(t *testing.T) {
+	for id := 1; id <= 22; id++ {
+		id := id
+		t.Run(fmt.Sprintf("device_%02d", id), func(t *testing.T) {
+			rec := goldenRecordFor(t, id)
+			got, err := json.MarshalIndent(rec, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := goldenPath(id)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -run TestGoldenReports -update .`): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("report for device %d diverged from %s;\nregenerate with -update if intentional.\ngot:\n%s", id, path, clip(string(got)))
+			}
+		})
+	}
+}
+
+// clip bounds a diff dump to keep failures readable.
+func clip(s string) string {
+	const max = 4000
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "\n... (truncated)"
+}

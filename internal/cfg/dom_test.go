@@ -1,0 +1,95 @@
+package cfg
+
+import (
+	"testing"
+
+	"firmres/internal/asm"
+	"firmres/internal/isa"
+	"firmres/internal/pcode"
+)
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := Build(diamond(t))
+	idom := g.Dominators()
+	// Entry dominates every block; the join is dominated by the entry, not
+	// by either arm.
+	want := []int{0, 0, 0, 0}
+	for b, w := range want {
+		if idom[b] != w {
+			t.Errorf("idom[%d] = %d, want %d", b, idom[b], w)
+		}
+	}
+	for _, b := range []int{1, 2, 3} {
+		if !Dominates(idom, 0, b) {
+			t.Errorf("entry does not dominate b%d", b)
+		}
+	}
+	if Dominates(idom, 1, 3) || Dominates(idom, 2, 3) {
+		t.Error("a diamond arm dominates the join")
+	}
+	if !Dominates(idom, 3, 3) {
+		t.Error("join does not dominate itself")
+	}
+}
+
+// TestDominatorsGuardChain: b0 -> b1 -> b2 with a bypass b0 -> b2; b1 does
+// not dominate b2, but b0 dominates both — the shape the unchecked-source
+// checker distinguishes a guarding null check by.
+func TestDominatorsGuardChain(t *testing.T) {
+	a := asm.New("t")
+	f := a.Func("f", 2, true)
+	skip := f.NewLabel()
+	f.Beq(isa.R1, isa.R2, skip) // b0
+	f.LI(isa.R3, 1)             // b1: guarded work
+	f.Bind(skip)
+	f.Mov(isa.R1, isa.R3) // b2
+	f.Ret()
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	fn, err := pcode.Lift(bin, bin.Funcs[0])
+	if err != nil {
+		t.Fatalf("Lift: %v", err)
+	}
+	g := Build(fn)
+	if len(g.Blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(g.Blocks))
+	}
+	idom := g.Dominators()
+	if !Dominates(idom, 0, 1) || !Dominates(idom, 0, 2) {
+		t.Errorf("entry dominance broken: idom=%v", idom)
+	}
+	if Dominates(idom, 1, 2) {
+		t.Errorf("bypassed block dominates the join: idom=%v", idom)
+	}
+}
+
+// TestDominatorsLoop: a self-loop back edge must not disturb the dominator
+// of the loop header, and the exit is dominated by the header.
+func TestDominatorsLoop(t *testing.T) {
+	a := asm.New("t")
+	f := a.Func("f", 2, true)
+	loop := f.NewLabel()
+	f.LI(isa.R3, 0) // b0
+	f.Bind(loop)
+	f.Add(isa.R3, isa.R3, isa.R1) // b1: header + body
+	f.Blt(isa.R3, isa.R2, loop)
+	f.Ret() // b2
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	fn, err := pcode.Lift(bin, bin.Funcs[0])
+	if err != nil {
+		t.Fatalf("Lift: %v", err)
+	}
+	g := Build(fn)
+	idom := g.Dominators()
+	if idom[1] != 0 {
+		t.Errorf("loop header idom = %d, want 0", idom[1])
+	}
+	if !Dominates(idom, 1, 2) {
+		t.Errorf("header does not dominate the exit: idom=%v", idom)
+	}
+}

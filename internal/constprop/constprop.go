@@ -1,0 +1,414 @@
+// Package constprop implements conditional constant propagation over lifted
+// P-Code, in the SCCP style: a forward dataflow over the CFG that only
+// propagates along executable edges, so a CBRANCH whose predicate folds to a
+// constant prunes the untaken arm. The solution backs the lint checkers and
+// the taint engine's constant-argument resolution, letting both follow
+// values laundered through arbitrary COPY/arithmetic/stack-spill chains
+// instead of a single reaching definition.
+//
+// The lattice per storage location is {unknown, constant}: a location absent
+// from the state is unknown (the paper's conservative default), a present
+// location holds a proven compile-time constant. Joins intersect states, so
+// a value is constant at a point only when every executable path agrees on
+// it.
+package constprop
+
+import (
+	"sort"
+
+	"firmres/internal/cfg"
+	"firmres/internal/isa"
+	"firmres/internal/pcode"
+)
+
+// locKey identifies a storage location: a register, a lifter temporary, or a
+// resolved stack slot (synthetic RAM-space key, as in package dataflow).
+type locKey struct {
+	space  pcode.Space
+	offset uint64
+}
+
+func keyOf(v pcode.Varnode) locKey { return locKey{space: v.Space, offset: v.Offset} }
+
+// state maps known-constant locations to their values.
+type state map[locKey]uint64
+
+// Result is the constant-propagation solution of one function.
+type Result struct {
+	Fn *pcode.Function
+	G  *cfg.Graph
+
+	in    []state // per-block state at block entry (nil when unreachable)
+	reach []bool  // per-block executability from the entry
+}
+
+// Solve computes the conditional constant-propagation solution for fn over
+// its CFG.
+func Solve(fn *pcode.Function, g *cfg.Graph) *Result {
+	r := &Result{Fn: fn, G: g}
+	n := len(g.Blocks)
+	r.in = make([]state, n)
+	r.reach = make([]bool, n)
+	if n == 0 {
+		return r
+	}
+
+	out := make([]state, n)
+	type edge struct{ from, to int }
+	edgeExec := make(map[edge]bool)
+	r.reach[0] = true
+
+	worklist := []int{0}
+	queued := make([]bool, n)
+	queued[0] = true
+	for len(worklist) > 0 {
+		b := worklist[0]
+		worklist = worklist[1:]
+		queued[b] = false
+		blk := g.Blocks[b]
+
+		// Meet over the executable incoming edges; the entry block starts
+		// from the empty (everything-unknown) state regardless of back edges.
+		var in state
+		if b == 0 {
+			in = state{}
+		} else {
+			first := true
+			for _, p := range blk.Preds {
+				if !edgeExec[edge{p, b}] || out[p] == nil {
+					continue
+				}
+				if first {
+					in = out[p].clone()
+					first = false
+				} else {
+					in.meet(out[p])
+				}
+			}
+			if first {
+				continue // no executable predecessor reached yet
+			}
+		}
+		if out[b] != nil && in.equal(r.in[b]) {
+			continue
+		}
+		r.in[b] = in
+
+		st := in.clone()
+		for i := blk.Start; i < blk.End; i++ {
+			r.transfer(st, i)
+		}
+		out[b] = st
+
+		for _, s := range r.execSuccs(blk, st) {
+			edgeExec[edge{b, s}] = true
+			r.reach[s] = true
+			if !queued[s] {
+				queued[s] = true
+				worklist = append(worklist, s)
+			}
+		}
+	}
+	return r
+}
+
+// execSuccs returns the successors executable from blk given its out-state:
+// all of them, except when the terminating CBRANCH predicate folds to a
+// constant, which prunes the untaken arm.
+func (r *Result) execSuccs(blk *cfg.Block, st state) []int {
+	if blk.End == 0 || blk.End > len(r.Fn.Ops) {
+		return blk.Succs
+	}
+	last := &r.Fn.Ops[blk.End-1]
+	if last.Code != pcode.CBRANCH || len(last.Inputs) < 2 {
+		return blk.Succs
+	}
+	pred, ok := st.eval(last.Inputs[1])
+	if !ok {
+		return blk.Succs
+	}
+	var want int
+	if pred != 0 {
+		target, ok := last.BranchTarget()
+		if !ok {
+			return blk.Succs
+		}
+		idx, ok := r.opIndexAtOrAfter(target)
+		if !ok {
+			return blk.Succs
+		}
+		want = r.G.BlockOf(idx).ID
+	} else {
+		if blk.End >= len(r.Fn.Ops) {
+			return nil // conditional fallthrough off the function end
+		}
+		want = r.G.BlockOf(blk.End).ID
+	}
+	for _, s := range blk.Succs {
+		if s == want {
+			return []int{want}
+		}
+	}
+	return blk.Succs
+}
+
+// opIndexAtOrAfter maps a machine address to the first op at or after it
+// (NOPs lift to no ops, so an exact lookup can miss).
+func (r *Result) opIndexAtOrAfter(addr uint32) (int, bool) {
+	if idx, ok := r.Fn.OpIndexAt(addr); ok {
+		return idx, true
+	}
+	ops := r.Fn.Ops
+	i := sort.Search(len(ops), func(i int) bool { return ops[i].Addr >= addr })
+	if i < len(ops) {
+		return i, true
+	}
+	return 0, false
+}
+
+// transfer applies the op at index i to st.
+func (r *Result) transfer(st state, i int) {
+	op := &r.Fn.Ops[i]
+	switch op.Code {
+	case pcode.COPY:
+		v, ok := st.eval(op.Inputs[0])
+		st.assign(op.Output, v, ok)
+
+	case pcode.INT_ADD, pcode.INT_SUB, pcode.INT_MULT, pcode.INT_DIV,
+		pcode.INT_AND, pcode.INT_OR, pcode.INT_XOR,
+		pcode.INT_LEFT, pcode.INT_RIGHT,
+		pcode.INT_EQUAL, pcode.INT_NOTEQUAL, pcode.INT_SLESS:
+		a, aok := st.eval(op.Inputs[0])
+		b, bok := st.eval(op.Inputs[1])
+		if aok && bok {
+			v, ok := fold(op.Code, a, b)
+			st.assign(op.Output, v, ok)
+		} else {
+			st.forget(op.Output)
+		}
+
+	case pcode.BOOL_NEGATE:
+		if v, ok := st.eval(op.Inputs[0]); ok {
+			st.assign(op.Output, boolVal(v == 0), true)
+		} else {
+			st.forget(op.Output)
+		}
+
+	case pcode.LOAD:
+		if slot, ok := r.resolveSlot(i); ok {
+			if v, ok2 := st[keyOf(slot)]; ok2 {
+				st.assign(op.Output, v, true)
+				return
+			}
+		}
+		st.forget(op.Output)
+
+	case pcode.STORE:
+		if slot, ok := r.resolveSlot(i); ok {
+			src := op.Inputs[1]
+			if v, ok2 := st.eval(src); ok2 {
+				st[keyOf(slot)] = mask(v, src.Size)
+			} else {
+				delete(st, keyOf(slot))
+			}
+			return
+		}
+		// A store through an unresolved pointer may hit any tracked slot.
+		st.clobberRAM()
+
+	case pcode.CALL, pcode.CALLIND:
+		if op.HasOut {
+			st.forget(op.Output)
+		}
+		// The callee may write memory reachable through its arguments.
+		st.clobberRAM()
+
+	case pcode.MULTIEQUAL:
+		var val uint64
+		agreed := true
+		for j, in := range op.Inputs {
+			v, ok := st.eval(in)
+			if !ok || (j > 0 && v != val) {
+				agreed = false
+				break
+			}
+			val = v
+		}
+		if agreed && len(op.Inputs) > 0 {
+			st.assign(op.Output, val, true)
+		} else {
+			st.forget(op.Output)
+		}
+
+	case pcode.CBRANCH, pcode.BRANCH, pcode.RETURN:
+		// No state change; CBRANCH pruning happens at edge level.
+
+	default:
+		if op.HasOut {
+			st.forget(op.Output)
+		}
+	}
+}
+
+// resolveSlot pattern-matches the effective-address computation of a
+// LOAD/STORE at opIdx, mirroring dataflow.resolveSlot: the address unique
+// must come from the INT_ADD(SP, const) the lifter emitted just before.
+func (r *Result) resolveSlot(opIdx int) (pcode.Varnode, bool) {
+	op := &r.Fn.Ops[opIdx]
+	if len(op.Inputs) == 0 || op.Inputs[0].Space != pcode.SpaceUnique || opIdx == 0 {
+		return pcode.Varnode{}, false
+	}
+	ea := &r.Fn.Ops[opIdx-1]
+	if !ea.HasOut || ea.Output != op.Inputs[0] || ea.Code != pcode.INT_ADD {
+		return pcode.Varnode{}, false
+	}
+	base, ok := ea.Inputs[0].Reg()
+	if !ok || base != isa.SP || !ea.Inputs[1].IsConst() {
+		return pcode.Varnode{}, false
+	}
+	return pcode.Varnode{Space: pcode.SpaceRAM, Offset: ea.Inputs[1].Offset & 0xffffffff, Size: 4}, true
+}
+
+// ValueAt returns the proven compile-time constant value of v at the program
+// point just before the op at opIdx, replaying the containing block from its
+// solved entry state. The second result is false when v is not provably
+// constant there or the point is unreachable.
+func (r *Result) ValueAt(opIdx int, v pcode.Varnode) (uint64, bool) {
+	blk := r.G.BlockOf(opIdx)
+	if blk == nil || !r.reach[blk.ID] || r.in[blk.ID] == nil {
+		return 0, false
+	}
+	st := r.in[blk.ID].clone()
+	for i := blk.Start; i < opIdx; i++ {
+		r.transfer(st, i)
+	}
+	return st.eval(v)
+}
+
+// Reachable reports whether the op at opIdx is executable from the function
+// entry under the solved conditional constants.
+func (r *Result) Reachable(opIdx int) bool {
+	blk := r.G.BlockOf(opIdx)
+	return blk != nil && r.reach[blk.ID]
+}
+
+// eval resolves a varnode against the state: constants fold immediately,
+// tracked locations read their lattice value.
+func (st state) eval(v pcode.Varnode) (uint64, bool) {
+	if v.IsConst() {
+		return mask(v.Offset, v.Size), true
+	}
+	val, ok := st[keyOf(v)]
+	return val, ok
+}
+
+// assign records the output of an op: a constant result enters the state,
+// an unknown one evicts any stale entry.
+func (st state) assign(out pcode.Varnode, v uint64, ok bool) {
+	if !ok {
+		delete(st, keyOf(out))
+		return
+	}
+	st[keyOf(out)] = mask(v, out.Size)
+}
+
+func (st state) forget(v pcode.Varnode) { delete(st, keyOf(v)) }
+
+// clobberRAM drops every tracked memory slot: an opaque write or call may
+// have redefined any of them.
+func (st state) clobberRAM() {
+	for k := range st {
+		if k.space == pcode.SpaceRAM {
+			delete(st, k)
+		}
+	}
+}
+
+func (st state) clone() state {
+	c := make(state, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+// meet intersects st with other in place: only locations constant with the
+// same value on both paths survive.
+func (st state) meet(other state) {
+	for k, v := range st {
+		if ov, ok := other[k]; !ok || ov != v {
+			delete(st, k)
+		}
+	}
+}
+
+func (st state) equal(other state) bool {
+	if len(st) != len(other) {
+		return false
+	}
+	for k, v := range st {
+		if ov, ok := other[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// fold evaluates a binary P-Code op over 32-bit machine words.
+func fold(code pcode.OpCode, a, b uint64) (uint64, bool) {
+	x, y := uint32(a), uint32(b)
+	switch code {
+	case pcode.INT_ADD:
+		return uint64(x + y), true
+	case pcode.INT_SUB:
+		return uint64(x - y), true
+	case pcode.INT_MULT:
+		return uint64(x * y), true
+	case pcode.INT_DIV:
+		if y == 0 {
+			return 0, false
+		}
+		return uint64(x / y), true
+	case pcode.INT_AND:
+		return uint64(x & y), true
+	case pcode.INT_OR:
+		return uint64(x | y), true
+	case pcode.INT_XOR:
+		return uint64(x ^ y), true
+	case pcode.INT_LEFT:
+		if y >= 32 {
+			return 0, true
+		}
+		return uint64(x << y), true
+	case pcode.INT_RIGHT:
+		if y >= 32 {
+			return 0, true
+		}
+		return uint64(x >> y), true
+	case pcode.INT_EQUAL:
+		return boolVal(x == y), true
+	case pcode.INT_NOTEQUAL:
+		return boolVal(x != y), true
+	case pcode.INT_SLESS:
+		return boolVal(int32(x) < int32(y)), true
+	}
+	return 0, false
+}
+
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func mask(v uint64, size uint8) uint64 {
+	switch size {
+	case 1:
+		return v & 0xff
+	case 2:
+		return v & 0xffff
+	default:
+		return v & 0xffffffff
+	}
+}

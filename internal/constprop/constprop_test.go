@@ -1,0 +1,208 @@
+package constprop
+
+import (
+	"testing"
+
+	"firmres/internal/asm"
+	"firmres/internal/cfg"
+	"firmres/internal/isa"
+	"firmres/internal/pcode"
+)
+
+func lift(t *testing.T, build func(*asm.FuncBuilder)) (*pcode.Function, *Result) {
+	t.Helper()
+	a := asm.New("t")
+	f := a.Func("f", 2, true)
+	build(f)
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	fn, err := pcode.Lift(bin, bin.Funcs[0])
+	if err != nil {
+		t.Fatalf("Lift: %v", err)
+	}
+	return fn, Solve(fn, cfg.Build(fn))
+}
+
+// opAt returns the index of the n-th op with the given code.
+func opAt(fn *pcode.Function, code pcode.OpCode, n int) int {
+	seen := 0
+	for i := range fn.Ops {
+		if fn.Ops[i].Code == code {
+			if seen == n {
+				return i
+			}
+			seen++
+		}
+	}
+	return -1
+}
+
+func wantConst(t *testing.T, r *Result, opIdx int, reg isa.Reg, want uint64) {
+	t.Helper()
+	got, ok := r.ValueAt(opIdx, pcode.Register(reg))
+	if !ok {
+		t.Fatalf("%s at op %d not constant, want %#x", reg, opIdx, want)
+	}
+	if got != want {
+		t.Errorf("%s at op %d = %#x, want %#x", reg, opIdx, got, want)
+	}
+}
+
+func wantUnknown(t *testing.T, r *Result, opIdx int, reg isa.Reg) {
+	t.Helper()
+	if v, ok := r.ValueAt(opIdx, pcode.Register(reg)); ok {
+		t.Errorf("%s at op %d = %#x, want unknown", reg, opIdx, v)
+	}
+}
+
+// TestCopyChainFolds: a constant survives an arbitrary Mov chain — the
+// multi-hop laundering case single reaching-definition scans miss.
+func TestCopyChainFolds(t *testing.T) {
+	fn, r := lift(t, func(f *asm.FuncBuilder) {
+		f.LI(isa.R3, 7)
+		f.Mov(isa.R4, isa.R3)
+		f.Mov(isa.R5, isa.R4)
+		f.Mov(isa.R6, isa.R5)
+		f.Ret()
+	})
+	wantConst(t, r, opAt(fn, pcode.RETURN, 0), isa.R6, 7)
+}
+
+func TestArithmeticFolds(t *testing.T) {
+	fn, r := lift(t, func(f *asm.FuncBuilder) {
+		f.LI(isa.R3, 6)
+		f.LI(isa.R4, 7)
+		f.Mul(isa.R5, isa.R3, isa.R4)
+		f.AddI(isa.R5, isa.R5, 100)
+		f.Sub(isa.R6, isa.R5, isa.R4)
+		f.Ret()
+	})
+	ret := opAt(fn, pcode.RETURN, 0)
+	wantConst(t, r, ret, isa.R5, 142)
+	wantConst(t, r, ret, isa.R6, 135)
+}
+
+// TestDiamondMeet: a join keeps a constant only when both arms agree on it.
+func TestDiamondMeet(t *testing.T) {
+	fn, r := lift(t, func(f *asm.FuncBuilder) {
+		elseL := f.NewLabel()
+		endL := f.NewLabel()
+		f.Beq(isa.R1, isa.R2, elseL)
+		f.LI(isa.R3, 1)
+		f.LI(isa.R4, 9)
+		f.Jmp(endL)
+		f.Bind(elseL)
+		f.LI(isa.R3, 2)
+		f.LI(isa.R4, 9)
+		f.Bind(endL)
+		f.Ret()
+	})
+	ret := opAt(fn, pcode.RETURN, 0)
+	wantUnknown(t, r, ret, isa.R3) // arms disagree
+	wantConst(t, r, ret, isa.R4, 9)
+}
+
+// TestConditionalPruning: a CBRANCH whose predicate folds to a constant
+// makes the untaken arm unreachable, so its contradicting definition does
+// not pollute the join — the "conditional" in conditional constant
+// propagation.
+func TestConditionalPruning(t *testing.T) {
+	fn, r := lift(t, func(f *asm.FuncBuilder) {
+		elseL := f.NewLabel()
+		endL := f.NewLabel()
+		f.LI(isa.R5, 3)
+		f.LI(isa.R6, 3)
+		f.Bne(isa.R5, isa.R6, elseL) // never taken: 3 == 3
+		f.LI(isa.R3, 1)
+		f.Jmp(endL)
+		f.Bind(elseL)
+		f.LI(isa.R3, 2) // dead
+		f.Bind(endL)
+		f.Ret()
+	})
+	ret := opAt(fn, pcode.RETURN, 0)
+	wantConst(t, r, ret, isa.R3, 1)
+	deadDef := opAt(fn, pcode.COPY, 3) // the LI in the dead arm
+	if r.Reachable(deadDef) {
+		t.Errorf("op %d in the pruned arm reported reachable", deadDef)
+	}
+}
+
+// TestSpillReload: a constant survives a round trip through a stack slot.
+func TestSpillReload(t *testing.T) {
+	fn, r := lift(t, func(f *asm.FuncBuilder) {
+		f.LI(isa.R3, 0x1234)
+		f.SW(isa.SP, -8, isa.R3)
+		f.LI(isa.R3, 0)
+		f.LW(isa.R4, isa.SP, -8)
+		f.Ret()
+	})
+	ret := opAt(fn, pcode.RETURN, 0)
+	wantConst(t, r, ret, isa.R4, 0x1234)
+	wantConst(t, r, ret, isa.R3, 0)
+}
+
+// TestCallClobbers: a call invalidates its output register and every
+// tracked memory slot, but leaves other registers alone.
+func TestCallClobbers(t *testing.T) {
+	fn, r := lift(t, func(f *asm.FuncBuilder) {
+		f.LI(isa.R3, 5)
+		f.SW(isa.SP, -8, isa.R3)
+		f.LI(isa.R1, 0)
+		f.CallImport("time", 1)
+		f.LW(isa.R4, isa.SP, -8)
+		f.Ret()
+	})
+	ret := opAt(fn, pcode.RETURN, 0)
+	wantUnknown(t, r, ret, isa.R1) // call result
+	wantUnknown(t, r, ret, isa.R4) // reload after opaque call
+	wantConst(t, r, ret, isa.R3, 5)
+}
+
+// TestLoopVariantIsUnknown: a loop-carried increment never folds, while a
+// loop-invariant register does.
+func TestLoopVariantIsUnknown(t *testing.T) {
+	fn, r := lift(t, func(f *asm.FuncBuilder) {
+		loop := f.NewLabel()
+		f.LI(isa.R3, 0)
+		f.LI(isa.R4, 1)
+		f.LI(isa.R5, 10)
+		f.Bind(loop)
+		f.Add(isa.R3, isa.R3, isa.R4)
+		f.Blt(isa.R3, isa.R5, loop)
+		f.Ret()
+	})
+	ret := opAt(fn, pcode.RETURN, 0)
+	wantUnknown(t, r, ret, isa.R3)
+	wantConst(t, r, ret, isa.R4, 1)
+	wantConst(t, r, ret, isa.R5, 10)
+}
+
+// TestUnresolvedStoreClobbersSlots: a store through a pointer register may
+// alias any slot, so tracked slots are dropped.
+func TestUnresolvedStoreClobbersSlots(t *testing.T) {
+	fn, r := lift(t, func(f *asm.FuncBuilder) {
+		f.LI(isa.R3, 5)
+		f.SW(isa.SP, -8, isa.R3)
+		f.SW(isa.R2, 0, isa.R3) // pointer store through a parameter
+		f.LW(isa.R4, isa.SP, -8)
+		f.Ret()
+	})
+	wantUnknown(t, r, opAt(fn, pcode.RETURN, 0), isa.R4)
+}
+
+// TestValueAtMidBlock: ValueAt replays the containing block, so the same
+// register reads differently before and after an intervening redefinition.
+func TestValueAtMidBlock(t *testing.T) {
+	fn, r := lift(t, func(f *asm.FuncBuilder) {
+		f.LI(isa.R3, 1)
+		f.Mov(isa.R4, isa.R3)
+		f.LI(isa.R3, 2)
+		f.Ret()
+	})
+	mov := opAt(fn, pcode.COPY, 1)
+	wantConst(t, r, mov, isa.R3, 1)
+	wantConst(t, r, opAt(fn, pcode.RETURN, 0), isa.R3, 2)
+}

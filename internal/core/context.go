@@ -12,6 +12,7 @@ import (
 	"firmres/internal/formcheck"
 	"firmres/internal/identify"
 	"firmres/internal/image"
+	"firmres/internal/lint"
 	"firmres/internal/mft"
 	"firmres/internal/pcode"
 	"firmres/internal/slices"
@@ -209,6 +210,25 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*
 	})
 	if err != nil && !errors.Is(err, errStageDegraded) {
 		return res, err
+	}
+
+	// Stage 6: lint passes over the lifted executable (opt-in). An invalid
+	// rule selection is a configuration error, not a degradation.
+	if prog != nil && p.opts.Lint {
+		err = p.runStage(ctx, res, StageLint, func(sctx context.Context) (func(), error) {
+			runner, err := lint.NewRunner(p.opts.LintRules)
+			if err != nil {
+				return nil, err
+			}
+			diags := runner.Run(prog, res.Executable)
+			if sctx.Err() != nil {
+				return nil, fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, sctx.Err())
+			}
+			return func() { res.Diagnostics = diags }, nil
+		})
+		if err != nil && !errors.Is(err, errStageDegraded) {
+			return res, err
+		}
 	}
 	return res, nil
 }

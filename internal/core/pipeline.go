@@ -17,6 +17,7 @@ import (
 	"firmres/internal/formcheck"
 	"firmres/internal/identify"
 	"firmres/internal/image"
+	"firmres/internal/lint"
 	"firmres/internal/mft"
 	"firmres/internal/nvram"
 	"firmres/internal/semantics"
@@ -34,8 +35,18 @@ const (
 	StageSemantics              // recovering field semantics
 	StageConcat                 // concatenating message fields
 	StageFormCheck              // detecting incorrect forms
+	StageLint                   // lint passes over the lifted executable
 	numStages
 )
+
+// Stages lists every pipeline stage in execution order.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
 
 // String names the stage.
 func (s Stage) String() string {
@@ -50,6 +61,8 @@ func (s Stage) String() string {
 		return "concatenate-fields"
 	case StageFormCheck:
 		return "check-forms"
+	case StageLint:
+		return "lint-passes"
 	default:
 		return fmt.Sprintf("stage?%d", int(s))
 	}
@@ -107,7 +120,10 @@ type Result struct {
 	// of delimiter clusters (§IV-C); nil when the executable never uses
 	// formatted-output assembly (the "-" rows of Table II).
 	ClusterCounts map[float64]int
-	Timing        Timing
+	// Diagnostics holds the lint-pass findings over the identified
+	// executable; populated only when Options.Lint is set.
+	Diagnostics []lint.Diagnostic
+	Timing      Timing
 	// Errors records the work the pipeline skipped or abandoned while
 	// degrading gracefully: skipped executables, timed-out stages,
 	// recovered panics. Empty for a clean run.
@@ -141,6 +157,11 @@ type Options struct {
 	// is abandoned and recorded in Result.Errors; the remaining stages run
 	// on whatever was recovered. Zero means no per-stage budget.
 	StageTimeout time.Duration
+	// Lint enables the lint-pass stage over the identified executable.
+	Lint bool
+	// LintRules restricts the lint stage to the named rules; empty means
+	// every registered checker.
+	LintRules []string
 }
 
 func (o Options) withDefaults() Options {

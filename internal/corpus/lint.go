@@ -1,0 +1,192 @@
+package corpus
+
+import (
+	"firmres/internal/asm"
+	"firmres/internal/isa"
+)
+
+// Lint seeds: small service functions planted into the device-cloud
+// executable as ground truth for the lint pass framework. Positives are
+// known-bad shapes assigned to fixed Table I devices; baits are known-good
+// near-misses planted into every binary device so the precision test can
+// assert zero false positives. Seeded functions are never called and never
+// touch the recv/send/delivery surface, so message identification, taint
+// recovery, and the Table II counts are unaffected.
+
+// LintSeed names one expected diagnostic: the rule and the seeded function
+// it must fire on.
+type LintSeed struct {
+	Rule string
+	Fn   string
+}
+
+// lintPositives assigns each checker's known-bad seed to two devices.
+var lintPositives = []struct {
+	rule, fn string
+	devices  [2]int
+}{
+	{"hardcoded-secret", "svc_auth_fallback", [2]int{2, 11}},
+	{"const-identifier", "svc_report_identity", [2]int{5, 19}},
+	{"unchecked-source", "svc_sync_state", [2]int{3, 18}},
+	{"format-arity", "svc_fmt_beacon", [2]int{17, 20}},
+	{"dead-store", "svc_stats_tick", [2]int{11, 20}},
+}
+
+// LintSeeds lists the lint diagnostics seeded into a device's executable.
+// Script-only devices have no executable and therefore no seeds.
+func LintSeeds(d *DeviceSpec) []LintSeed {
+	if d.ScriptOnly {
+		return nil
+	}
+	var out []LintSeed
+	for _, p := range lintPositives {
+		if d.ID == p.devices[0] || d.ID == p.devices[1] {
+			out = append(out, LintSeed{Rule: p.rule, Fn: p.fn})
+		}
+	}
+	return out
+}
+
+// emitLintSeeds plants the device's lint positives plus the all-device bait
+// functions (clean near-misses of each checker).
+func emitLintSeeds(a *asm.Assembler, d *DeviceSpec) {
+	for _, p := range lintPositives {
+		if d.ID != p.devices[0] && d.ID != p.devices[1] {
+			continue
+		}
+		switch p.rule {
+		case "hardcoded-secret":
+			emitLintConstField(a, p.fn, "secret", "dbg-master-secret-2019")
+		case "const-identifier":
+			emitLintConstField(a, p.fn, "sn", "11900000042")
+		case "unchecked-source":
+			emitLintUncheckedSource(a, p.fn)
+		case "format-arity":
+			emitLintBadFormat(a, p.fn)
+		case "dead-store":
+			emitLintDeadStore(a, p.fn)
+		}
+	}
+	emitLintOkSecret(a)
+	emitLintOkChecked(a)
+	emitLintOkStore(a)
+	if d.UsesSprintf {
+		emitLintOkFmt(a)
+	}
+}
+
+// emitLintConstField plants a compile-time-constant value, laundered
+// through two register hops, into a classified JSON field. A reaching-def
+// leaf inspection sees only the final Mov; the constant solver follows the
+// whole chain.
+func emitLintConstField(a *asm.Assembler, fn, key, value string) {
+	f := a.Func(fn, 0, true)
+	f.CallImport("cJSON_CreateObject", 0)
+	f.Mov(isa.R12, isa.R1)
+	f.LAStr(isa.R9, value)
+	f.Mov(isa.R13, isa.R9)
+	f.Mov(isa.R1, isa.R12)
+	f.LAStr(isa.R2, key)
+	f.Mov(isa.R3, isa.R13)
+	f.CallImport("cJSON_AddStringToObject", 3)
+	f.LI(isa.R1, 0)
+	f.Ret()
+}
+
+// emitLintUncheckedSource dereferences an NVRAM read with no null check.
+func emitLintUncheckedSource(a *asm.Assembler, fn string) {
+	f := a.Func(fn, 0, true)
+	f.LAStr(isa.R1, "wan_proto")
+	f.CallImport("nvram_get", 1)
+	f.Mov(isa.R9, isa.R1)
+	f.LB(isa.R2, isa.R9, 0)
+	f.LI(isa.R1, 0)
+	f.Ret()
+}
+
+// emitLintBadFormat formats two directives but passes one argument. The
+// keys are deliberately non-classifying so only format-arity fires.
+func emitLintBadFormat(a *asm.Assembler, fn string) {
+	buf := a.Bytes("lint_fmt_buf", make([]byte, 64))
+	f := a.Func(fn, 0, true)
+	f.LA(isa.R1, buf)
+	f.LAStr(isa.R2, "seq=%s&chan=%s")
+	f.LAStr(isa.R3, "7")
+	f.CallImport("sprintf", 3)
+	f.LI(isa.R1, 0)
+	f.Ret()
+}
+
+// emitLintDeadStore stores a word and overwrites it before any load.
+func emitLintDeadStore(a *asm.Assembler, fn string) {
+	g := a.Bytes("lint_stats", make([]byte, 64))
+	f := a.Func(fn, 0, true)
+	f.LA(isa.R5, g)
+	f.LI(isa.R6, 7)
+	f.SW(isa.R5, 8, isa.R6)
+	f.LI(isa.R6, 9)
+	f.SW(isa.R5, 8, isa.R6)
+	f.LI(isa.R1, 0)
+	f.Ret()
+}
+
+// emitLintOkSecret builds the same laundered-value shape as the
+// hardcoded-secret positive, but the value comes from a runtime config
+// read — the checker must stay silent.
+func emitLintOkSecret(a *asm.Assembler) {
+	f := a.Func("lint_ok_secret", 0, true)
+	f.CallImport("cJSON_CreateObject", 0)
+	f.Mov(isa.R12, isa.R1)
+	f.LAStr(isa.R1, "device_secret")
+	f.CallImport("config_read", 1)
+	f.Mov(isa.R13, isa.R1)
+	f.Mov(isa.R1, isa.R12)
+	f.LAStr(isa.R2, "secret")
+	f.Mov(isa.R3, isa.R13)
+	f.CallImport("cJSON_AddStringToObject", 3)
+	f.LI(isa.R1, 0)
+	f.Ret()
+}
+
+// emitLintOkChecked dereferences an NVRAM read behind a dominating null
+// check — the unchecked-source near-miss.
+func emitLintOkChecked(a *asm.Assembler) {
+	f := a.Func("lint_ok_checked", 0, true)
+	skip := f.NewLabel()
+	f.LAStr(isa.R1, "lan_ipaddr")
+	f.CallImport("nvram_get", 1)
+	f.Mov(isa.R9, isa.R1)
+	f.LI(isa.R10, 0)
+	f.Beq(isa.R9, isa.R10, skip)
+	f.LB(isa.R2, isa.R9, 0)
+	f.Bind(skip)
+	f.LI(isa.R1, 0)
+	f.Ret()
+}
+
+// emitLintOkStore re-stores a cell that a load read in between — not dead.
+func emitLintOkStore(a *asm.Assembler) {
+	g := a.Bytes("lint_ok_buf", make([]byte, 64))
+	f := a.Func("lint_ok_store", 0, true)
+	f.LA(isa.R5, g)
+	f.LI(isa.R6, 1)
+	f.SW(isa.R5, 0, isa.R6)
+	f.LW(isa.R7, isa.R5, 0)
+	f.LI(isa.R6, 2)
+	f.SW(isa.R5, 0, isa.R6)
+	f.LI(isa.R1, 0)
+	f.Ret()
+}
+
+// emitLintOkFmt is a correct-arity sprintf (sprintf devices only, so the
+// bait does not introduce the import on JSON-only devices).
+func emitLintOkFmt(a *asm.Assembler) {
+	buf := a.Bytes("lint_ok_fmt_buf", make([]byte, 64))
+	f := a.Func("lint_ok_fmt", 0, true)
+	f.LA(isa.R1, buf)
+	f.LAStr(isa.R2, "up=%s")
+	f.LAStr(isa.R3, "1")
+	f.CallImport("sprintf", 3)
+	f.LI(isa.R1, 0)
+	f.Ret()
+}

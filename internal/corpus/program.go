@@ -62,6 +62,7 @@ func EmitDeviceCloudBinary(d *DeviceSpec) (*binfmt.Binary, error) {
 			return nil, err
 		}
 	}
+	emitLintSeeds(a, d)
 	emitParse(a)
 	emitHandler(a, d)
 	emitMain(a, d)

@@ -186,3 +186,85 @@ func TestCallOutputIsADef(t *testing.T) {
 		t.Errorf("defs of r1 after call = %v, want [%d]", defs, call)
 	}
 }
+
+// TestSpillOverwriteKills: a second store to the same slot kills the first
+// definition; only the overwrite reaches the reload.
+func TestSpillOverwriteKills(t *testing.T) {
+	fn, du := lift(t, func(f *asm.FuncBuilder) {
+		f.LI(isa.R3, 1)
+		f.SW(isa.SP, -8, isa.R3)
+		f.LI(isa.R3, 2)
+		f.SW(isa.SP, -8, isa.R3) // overwrites the first spill
+		f.LW(isa.R4, isa.SP, -8)
+		f.Ret()
+	})
+	second := opAt(fn, pcode.STORE, 1)
+	load := opAt(fn, pcode.LOAD, 0)
+	slot, ok := du.Slot(load)
+	if !ok {
+		t.Fatal("reload slot not resolved")
+	}
+	defs := du.ReachingDefs(load, slot)
+	if len(defs) != 1 || defs[0] != second {
+		t.Errorf("slot defs at reload = %v, want [%d]", defs, second)
+	}
+}
+
+// TestDistinctSlotsIndependent: stores to different offsets define
+// different slots; each reload sees only its own spill.
+func TestDistinctSlotsIndependent(t *testing.T) {
+	fn, du := lift(t, func(f *asm.FuncBuilder) {
+		f.LI(isa.R3, 1)
+		f.SW(isa.SP, -8, isa.R3)
+		f.LI(isa.R3, 2)
+		f.SW(isa.SP, -12, isa.R3)
+		f.LW(isa.R4, isa.SP, -8)
+		f.LW(isa.R5, isa.SP, -12)
+		f.Ret()
+	})
+	st8, st12 := opAt(fn, pcode.STORE, 0), opAt(fn, pcode.STORE, 1)
+	ld8, ld12 := opAt(fn, pcode.LOAD, 0), opAt(fn, pcode.LOAD, 1)
+	slot8, ok8 := du.Slot(ld8)
+	slot12, ok12 := du.Slot(ld12)
+	if !ok8 || !ok12 {
+		t.Fatal("slots not resolved")
+	}
+	if slot8 == slot12 {
+		t.Fatal("distinct offsets resolved to the same slot")
+	}
+	if defs := du.ReachingDefs(ld8, slot8); len(defs) != 1 || defs[0] != st8 {
+		t.Errorf("slot -8 defs = %v, want [%d]", defs, st8)
+	}
+	if defs := du.ReachingDefs(ld12, slot12); len(defs) != 1 || defs[0] != st12 {
+		t.Errorf("slot -12 defs = %v, want [%d]", defs, st12)
+	}
+}
+
+// TestSpillReachesThroughBranch: a spill before a diamond reaches the
+// reload at the join through both arms, and an arm re-spilling the slot
+// adds a second reaching definition instead of replacing the first.
+func TestSpillReachesThroughBranch(t *testing.T) {
+	fn, du := lift(t, func(f *asm.FuncBuilder) {
+		join := f.NewLabel()
+		f.LI(isa.R3, 1)
+		f.SW(isa.SP, -8, isa.R3)
+		f.LI(isa.R5, 0)
+		f.Beq(isa.R1, isa.R5, join)
+		f.LI(isa.R3, 2)
+		f.SW(isa.SP, -8, isa.R3) // taken arm re-spills
+		f.Bind(join)
+		f.LW(isa.R4, isa.SP, -8)
+		f.Ret()
+	})
+	st1, st2 := opAt(fn, pcode.STORE, 0), opAt(fn, pcode.STORE, 1)
+	load := opAt(fn, pcode.LOAD, 0)
+	slot, ok := du.Slot(load)
+	if !ok {
+		t.Fatal("reload slot not resolved")
+	}
+	defs := du.ReachingDefs(load, slot)
+	want := map[int]bool{st1: true, st2: true}
+	if len(defs) != 2 || !want[defs[0]] || !want[defs[1]] {
+		t.Errorf("slot defs at join = %v, want {%d, %d}", defs, st1, st2)
+	}
+}

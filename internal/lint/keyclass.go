@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"strings"
+
+	"firmres/internal/nn"
+)
+
+// KeyKind classifies a message-field key for the constant-field checkers.
+type KeyKind int
+
+// Key classes. KeyOther covers filler/meta fields the checkers ignore.
+const (
+	KeyOther KeyKind = iota
+	KeySecret
+	KeyIdentifier
+)
+
+// String names the key class.
+func (k KeyKind) String() string {
+	switch k {
+	case KeySecret:
+		return "dev-secret"
+	case KeyIdentifier:
+		return "dev-identifier"
+	default:
+		return "other"
+	}
+}
+
+// secretTokens matches keys carrying Dev-Secret / Bind-Token material. The
+// vocabulary is deliberately narrower than the semantics-stage keyword
+// dictionary: a lint diagnostic claims a proof ("compile-time constant"),
+// so ambiguous tokens like "key" or "sign" stay out.
+var secretTokens = map[string]bool{
+	"secret": true, "password": true, "passwd": true, "pwd": true,
+	"psk": true, "token": true, "accesstoken": true, "accesskey": true,
+	"bindtoken": true, "devkey": true, "devicekey": true, "privatekey": true,
+	"apikey": true, "authkey": true,
+}
+
+// identifierTokens matches keys carrying Dev-Identifier material (cloneable
+// device identity, §IV-E). Broad tokens like "id", "model", "hardware" are
+// excluded: they label too many harmless meta fields.
+var identifierTokens = map[string]bool{
+	"mac": true, "macaddr": true, "macaddress": true,
+	"serial": true, "serialno": true, "serialnumber": true, "sn": true,
+	"deviceid": true, "devid": true, "uuid": true, "uid": true,
+	"imei": true, "did": true,
+}
+
+// KeyClass classifies a field key by its tokens: the key is split the same
+// way the semantics classifier tokenizes slices (camelCase and delimiter
+// boundaries, lowercased), and both the single tokens and adjacent
+// compounds are matched, so "deviceToken", "bind_token", and "token" all
+// classify as KeySecret.
+func KeyClass(key string) KeyKind {
+	toks := nn.Tokenize(key)
+	probe := make([]string, 0, len(toks)*2)
+	probe = append(probe, toks...)
+	for i := 0; i+1 < len(toks); i++ {
+		probe = append(probe, toks[i]+toks[i+1])
+	}
+	probe = append(probe, strings.ToLower(key))
+	for _, tok := range probe {
+		if secretTokens[tok] {
+			return KeySecret
+		}
+	}
+	for _, tok := range probe {
+		if identifierTokens[tok] {
+			return KeyIdentifier
+		}
+	}
+	return KeyOther
+}

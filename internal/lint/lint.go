@@ -1,0 +1,279 @@
+// Package lint is a pass-manager framework running pluggable static
+// checkers over every lifted function of the device-cloud executable. It
+// generalizes the ad-hoc pattern matching of formcheck/taint into a
+// rule-based analysis layer in the spirit of argXtract's security-config
+// recovery and UVSCAN's usage-violation rules: each checker inspects one
+// function through shared per-function analysis state — the CFG, the
+// reaching-definitions solution, the dominator tree, and a conditional
+// constant-propagation solution (package constprop) — and emits structured
+// diagnostics.
+//
+// Checkers register themselves at init time; the Runner executes a selected
+// subset over a program, stamps provenance, deduplicates, and sorts the
+// diagnostics deterministically so repeated runs are byte-identical.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"firmres/internal/binfmt"
+	"firmres/internal/cfg"
+	"firmres/internal/constprop"
+	"firmres/internal/dataflow"
+	"firmres/internal/isa"
+	"firmres/internal/pcode"
+)
+
+// Severity grades a diagnostic.
+type Severity uint8
+
+// Severities, in ascending order.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("severity?%d", uint8(s))
+	}
+}
+
+// ParseSeverity maps a severity name back to its grade; unknown names rank
+// as info.
+func ParseSeverity(s string) Severity {
+	switch s {
+	case "error":
+		return SevError
+	case "warning":
+		return SevWarning
+	default:
+		return SevInfo
+	}
+}
+
+// Diagnostic is one finding of one checker.
+type Diagnostic struct {
+	Rule       string   // checker rule name ("hardcoded-secret", ...)
+	Severity   Severity // finding grade
+	Executable string   // image path of the analyzed executable
+	Function   string   // containing function
+	Addr       uint32   // machine address of the offending site
+	Message    string   // human-readable finding
+	Evidence   []string // supporting facts (keys, values, callsites)
+}
+
+// Checker is one pluggable lint pass. Check inspects a single function and
+// returns findings with Severity/Addr/Message/Evidence filled in; the
+// Runner stamps Rule, Executable, and Function.
+type Checker interface {
+	Rule() string        // stable rule identifier
+	Description() string // one-line rule summary
+	Check(fc *FuncContext) []Diagnostic
+}
+
+// FuncContext carries the shared per-function analysis state. The derived
+// solutions (CFG, def-use, constants, dominators, field plants) are built
+// lazily and memoized, so checkers that need none of them cost nothing.
+type FuncContext struct {
+	Prog *pcode.Program
+	Fn   *pcode.Function
+
+	graph  *cfg.Graph
+	du     *dataflow.DefUse
+	consts *constprop.Result
+	idom   []int
+
+	plants    []plant
+	plantsSet bool
+}
+
+// CFG returns the function's control-flow graph.
+func (fc *FuncContext) CFG() *cfg.Graph {
+	if fc.graph == nil {
+		fc.graph = cfg.Build(fc.Fn)
+	}
+	return fc.graph
+}
+
+// DefUse returns the function's reaching-definitions solution.
+func (fc *FuncContext) DefUse() *dataflow.DefUse {
+	if fc.du == nil {
+		fc.du = dataflow.New(fc.Fn, fc.CFG())
+	}
+	return fc.du
+}
+
+// Consts returns the function's conditional constant-propagation solution.
+func (fc *FuncContext) Consts() *constprop.Result {
+	if fc.consts == nil {
+		fc.consts = constprop.Solve(fc.Fn, fc.CFG())
+	}
+	return fc.consts
+}
+
+// Idom returns the function's immediate-dominator tree.
+func (fc *FuncContext) Idom() []int {
+	if fc.idom == nil {
+		fc.idom = fc.CFG().Dominators()
+	}
+	return fc.idom
+}
+
+// stringAt resolves a data address to a rodata string. Writable buffers
+// (whose first byte is often NUL) are rejected via the data-symbol kind, as
+// the taint engine does.
+func (fc *FuncContext) stringAt(addr uint32) (string, bool) {
+	sym, ok := fc.Prog.Bin.DataSymAt(addr)
+	if !ok || sym.Kind != binfmt.DataString {
+		return "", false
+	}
+	return fc.Prog.Bin.StringAt(addr)
+}
+
+// ConstString resolves the value of v at opIdx to a rodata string constant,
+// following copy chains, arithmetic, and stack spills through the
+// constant-propagation solution.
+func (fc *FuncContext) ConstString(opIdx int, v pcode.Varnode) (string, bool) {
+	val, ok := fc.Consts().ValueAt(opIdx, v)
+	if !ok {
+		return "", false
+	}
+	return fc.stringAt(uint32(val))
+}
+
+// ArgString resolves call argument argIdx at the callsite opIdx to a rodata
+// string constant.
+func (fc *FuncContext) ArgString(opIdx, argIdx int) (string, bool) {
+	if argIdx < 0 || argIdx >= isa.NumArgRegs {
+		return "", false
+	}
+	return fc.ConstString(opIdx, pcode.Register(isa.ArgReg(argIdx)))
+}
+
+// registry holds the compiled-in checkers, keyed by rule name.
+var registry = map[string]Checker{}
+
+// MustRegister adds a checker to the registry; duplicate rule names are a
+// programming error.
+func MustRegister(c Checker) {
+	if _, dup := registry[c.Rule()]; dup {
+		panic(fmt.Sprintf("lint: duplicate rule %q", c.Rule()))
+	}
+	registry[c.Rule()] = c
+}
+
+// Rules lists the registered rule names in sorted order.
+func Rules() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line description of a registered rule.
+func Describe(rule string) (string, bool) {
+	c, ok := registry[rule]
+	if !ok {
+		return "", false
+	}
+	return c.Description(), true
+}
+
+// Runner executes a fixed set of checkers over lifted programs.
+type Runner struct {
+	checkers []Checker
+}
+
+// NewRunner selects the given rules (all registered rules when empty). An
+// unknown rule name is an error, so CLI typos surface instead of silently
+// checking nothing.
+func NewRunner(rules []string) (*Runner, error) {
+	if len(rules) == 0 {
+		rules = Rules()
+	}
+	r := &Runner{}
+	seen := map[string]bool{}
+	for _, name := range rules {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		c, ok := registry[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q (have %v)", name, Rules())
+		}
+		r.checkers = append(r.checkers, c)
+	}
+	sort.Slice(r.checkers, func(i, j int) bool { return r.checkers[i].Rule() < r.checkers[j].Rule() })
+	return r, nil
+}
+
+// Run executes every selected checker over every function of prog,
+// stamping, deduplicating, and deterministically sorting the findings.
+func (r *Runner) Run(prog *pcode.Program, executable string) []Diagnostic {
+	var out []Diagnostic
+	for _, fn := range prog.Funcs {
+		fc := &FuncContext{Prog: prog, Fn: fn}
+		for _, c := range r.checkers {
+			for _, d := range c.Check(fc) {
+				d.Rule = c.Rule()
+				d.Executable = executable
+				d.Function = fn.Name()
+				out = append(out, d)
+			}
+		}
+	}
+	return Dedupe(out)
+}
+
+// Dedupe drops exact-duplicate diagnostics and sorts the rest with Sort.
+func Dedupe(diags []Diagnostic) []Diagnostic {
+	Sort(diags)
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && sameDiag(d, diags[i-1]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func sameDiag(a, b Diagnostic) bool {
+	return a.Rule == b.Rule && a.Executable == b.Executable &&
+		a.Function == b.Function && a.Addr == b.Addr && a.Message == b.Message
+}
+
+// Sort orders diagnostics by (executable, function, address, rule, message)
+// — a stable key, so repeated runs render byte-identically.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Executable != b.Executable {
+			return a.Executable < b.Executable
+		}
+		if a.Function != b.Function {
+			return a.Function < b.Function
+		}
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}

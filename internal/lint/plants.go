@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+
+	"firmres/internal/isa"
+	"firmres/internal/pcode"
+)
+
+// plant is one message-field placement recovered from an assembling
+// callsite: a key paired with the varnode carrying its value, plus the
+// constant-propagation verdict on that value. It is the lint-side analogue
+// of the taint engine's field leaves, but computed forward and cheaply.
+type plant struct {
+	key      string
+	opIdx    int           // assembling callsite op index
+	val      pcode.Varnode // varnode carrying the value at the callsite
+	via      string        // assembling callee (cJSON_AddStringToObject, sprintf, strcat)
+	isConst  bool          // value proven compile-time constant
+	constVal string        // rendered constant (rodata string or decimal)
+}
+
+// fmtSpec locates the format string and first variadic argument of a
+// printf-style callee.
+type fmtSpec struct{ fmtArg, varStart int }
+
+var fmtSpecs = map[string]fmtSpec{
+	"sprintf":  {fmtArg: 1, varStart: 2},
+	"snprintf": {fmtArg: 2, varStart: 3},
+	"printf":   {fmtArg: 0, varStart: 1},
+	"fprintf":  {fmtArg: 1, varStart: 2},
+}
+
+// Plants extracts the function's field plants, memoized per context.
+func (fc *FuncContext) Plants() []plant {
+	if !fc.plantsSet {
+		fc.plants = fc.collectPlants()
+		fc.plantsSet = true
+	}
+	return fc.plants
+}
+
+func (fc *FuncContext) collectPlants() []plant {
+	var out []plant
+	// pending maps a concat destination buffer (constant address) to the
+	// field key its last constant segment ended with ("...&sn=" -> "sn"):
+	// the next strcat into the same buffer carries that field's value.
+	pending := map[uint64]string{}
+	for i := range fc.Fn.Ops {
+		op := &fc.Fn.Ops[i]
+		if op.Code != pcode.CALL || op.Call == nil {
+			continue
+		}
+		switch name := op.Call.Name; name {
+		case "cJSON_AddStringToObject", "cJSON_AddNumberToObject":
+			key, ok := fc.ArgString(i, 1)
+			if !ok || key == "" {
+				continue
+			}
+			out = append(out, fc.newPlant(key, i, pcode.Register(isa.ArgReg(2)), name))
+
+		case "sprintf", "snprintf", "printf", "fprintf":
+			spec := fmtSpecs[name]
+			format, ok := fc.ArgString(i, spec.fmtArg)
+			if !ok {
+				continue
+			}
+			for j, key := range formatKeys(format) {
+				argIdx := spec.varStart + j
+				if key == "" || argIdx >= op.Call.Arity || argIdx >= isa.NumArgRegs {
+					continue
+				}
+				out = append(out, fc.newPlant(key, i, pcode.Register(isa.ArgReg(argIdx)), name))
+			}
+
+		case "strcpy", "strcat":
+			dst, ok := fc.Consts().ValueAt(i, pcode.Register(isa.ArgReg(0)))
+			if !ok {
+				continue
+			}
+			if seg, isStr := fc.ArgString(i, 1); isStr {
+				// A constant segment: a pending key absorbs it as the field
+				// value, unless it introduces the next key itself.
+				if key := pending[dst]; key != "" && !strings.HasSuffix(seg, "=") {
+					p := fc.newPlant(key, i, pcode.Register(isa.ArgReg(1)), name)
+					out = append(out, p)
+					delete(pending, dst)
+					continue
+				}
+				if key := trailingKey(seg); key != "" {
+					pending[dst] = key
+				} else {
+					delete(pending, dst)
+				}
+				continue
+			}
+			if key := pending[dst]; key != "" {
+				out = append(out, fc.newPlant(key, i, pcode.Register(isa.ArgReg(1)), name))
+				delete(pending, dst)
+			}
+		}
+	}
+	return out
+}
+
+// newPlant resolves the constness of a field value at its assembling
+// callsite. A constant that points into writable data is a buffer, not a
+// compile-time value, and stays non-constant.
+func (fc *FuncContext) newPlant(key string, opIdx int, val pcode.Varnode, via string) plant {
+	p := plant{key: key, opIdx: opIdx, val: val, via: via}
+	v, ok := fc.Consts().ValueAt(opIdx, val)
+	if !ok {
+		return p
+	}
+	if s, isStr := fc.stringAt(uint32(v)); isStr {
+		p.isConst, p.constVal = true, s
+		return p
+	}
+	if !fc.Prog.Bin.InData(uint32(v)) {
+		p.isConst, p.constVal = true, strconv.FormatUint(v, 10)
+	}
+	return p
+}
+
+// formatKeys maps each %-verb of a printf format to the field key named
+// immediately before it ("sn=%s&mac=%s" -> ["sn", "mac"]); verbs with no
+// key= prefix yield "".
+func formatKeys(format string) []string {
+	var keys []string
+	for i := 0; i+1 < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if format[i+1] == '%' {
+			i++
+			continue
+		}
+		key := ""
+		if i > 0 && format[i-1] == '=' {
+			key = trailingKey(format[:i])
+		}
+		keys = append(keys, key)
+	}
+	return keys
+}
+
+// trailingKey extracts the identifier ending a "...key=" segment.
+func trailingKey(seg string) string {
+	s := strings.TrimSuffix(seg, "=")
+	if len(s) == len(seg) {
+		return ""
+	}
+	end := len(s)
+	start := end
+	for start > 0 && isKeyChar(s[start-1]) {
+		start--
+	}
+	return s[start:end]
+}
+
+func isKeyChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+// countVerbs counts the %-directives of a printf format, skipping %%.
+func countVerbs(format string) int {
+	n := 0
+	for i := 0; i+1 < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if format[i+1] == '%' {
+			i++
+			continue
+		}
+		n++
+	}
+	return n
+}

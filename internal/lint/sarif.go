@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SARIF-lite output: enough of the SARIF 2.1.0 shape for result viewers —
+// one run, one driver, rule metadata, and per-result locations — without
+// the schema's long tail.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID     string          `json:"ruleId"`
+	Level      string          `json:"level"`
+	Message    sarifText       `json:"message"`
+	Locations  []sarifLocation `json:"locations"`
+	Properties map[string]any  `json:"properties,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical  `json:"physicalLocation"`
+	LogicalLocations []sarifLogical `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifLogical struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+func sarifLevel(s Severity) string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// WriteSARIF renders diagnostics as a SARIF-lite JSON document. The output
+// is deterministic: diagnostics are emitted in their (already sorted)
+// order and rules in sorted registry order.
+func WriteSARIF(w io.Writer, diags []Diagnostic) error {
+	var rules []sarifRule
+	for _, name := range Rules() {
+		desc, _ := Describe(name)
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifText{Text: desc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:  d.Rule,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{ArtifactLocation: sarifArtifact{URI: d.Executable}},
+				LogicalLocations: []sarifLogical{{Name: d.Function, Kind: "function"}},
+			}},
+			Properties: map[string]any{
+				"address": fmt.Sprintf("%#x", d.Addr),
+			},
+		}
+		if len(d.Evidence) > 0 {
+			res.Properties["evidence"] = d.Evidence
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "firmres-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}

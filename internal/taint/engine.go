@@ -6,6 +6,7 @@ import (
 	"firmres/internal/binfmt"
 	"firmres/internal/callgraph"
 	"firmres/internal/cfg"
+	"firmres/internal/constprop"
 	"firmres/internal/dataflow"
 	"firmres/internal/isa"
 	"firmres/internal/pcode"
@@ -38,6 +39,7 @@ type Engine struct {
 	opts Options
 	cfgs map[uint32]*cfg.Graph
 	dus  map[uint32]*dataflow.DefUse
+	cps  map[uint32]*constprop.Result
 }
 
 // NewEngine prepares an engine for prog.
@@ -48,6 +50,7 @@ func NewEngine(prog *pcode.Program, opts Options) *Engine {
 		opts: opts.withDefaults(),
 		cfgs: make(map[uint32]*cfg.Graph),
 		dus:  make(map[uint32]*dataflow.DefUse),
+		cps:  make(map[uint32]*constprop.Result),
 	}
 }
 
@@ -64,6 +67,21 @@ func (e *Engine) du(fn *pcode.Function) *dataflow.DefUse {
 	d := dataflow.New(fn, g)
 	e.dus[fn.Addr()] = d
 	return d
+}
+
+// consts returns the (cached) constant-propagation solution for fn.
+func (e *Engine) consts(fn *pcode.Function) *constprop.Result {
+	if c, ok := e.cps[fn.Addr()]; ok {
+		return c
+	}
+	g, ok := e.cfgs[fn.Addr()]
+	if !ok {
+		g = cfg.Build(fn)
+		e.cfgs[fn.Addr()] = g
+	}
+	c := constprop.Solve(fn, g)
+	e.cps[fn.Addr()] = c
+	return c
 }
 
 // Analyze builds one MFT per device-cloud message construction: every
@@ -400,12 +418,23 @@ func (e *Engine) constLeaf(st *traceState, fn *pcode.Function, useIdx int, val u
 }
 
 // argString resolves the constant string argument of a call, if the
-// argument index is valid and the value folds to a rodata string.
+// argument index is valid and the value folds to a rodata string. The
+// constant-propagation solution proves values laundered through arbitrary
+// copy chains and spills; the single-hop reaching-definition scan remains
+// as a fallback for merge points the pessimistic solver gives up on when
+// all incoming definitions agree on the same rodata string.
 func (e *Engine) argString(fn *pcode.Function, callIdx, argIdx int) string {
 	if argIdx < 0 || argIdx >= isa.NumArgRegs {
 		return ""
 	}
 	v := pcode.Register(isa.ArgReg(argIdx))
+	if addr, ok := e.consts(fn).ValueAt(callIdx, v); ok {
+		if sym, found := e.prog.Bin.DataSymAt(uint32(addr)); found && sym.Kind == binfmt.DataString {
+			if s, isStr := e.prog.Bin.StringAt(uint32(addr)); isStr {
+				return s
+			}
+		}
+	}
 	du := e.du(fn)
 	defs := du.ReachingDefs(callIdx, v)
 	for _, def := range defs {

@@ -496,3 +496,48 @@ func TestEngineBudget(t *testing.T) {
 		t.Errorf("tree exploded to %d nodes despite budget", size)
 	}
 }
+
+// TestMultiHopArgStrings: both the NVRAM key and the format string are
+// staged through intermediate registers before their calls. The reaching
+// definition at each callsite is a register-to-register COPY, so the old
+// single-hop scan recovered nothing; the constant-propagation backing
+// follows the whole chain.
+func TestMultiHopArgStrings(t *testing.T) {
+	a := asm.New("hop")
+	buf := a.Bytes("msgbuf", make([]byte, 256))
+
+	f := a.Func("register_device", 1, true)
+	f.LAStr(isa.R13, "mac")
+	f.Mov(isa.R12, isa.R13)
+	f.Mov(isa.R1, isa.R12) // key laundered through two hops
+	f.CallImport("nvram_get", 1)
+	f.Mov(isa.R9, isa.R1)
+	f.LA(isa.R1, buf)
+	f.LAStr(isa.R13, "mac=%s")
+	f.Mov(isa.R2, isa.R13) // format staged through a hop
+	f.Mov(isa.R3, isa.R9)
+	f.CallImport("sprintf", 3)
+	f.Mov(isa.R2, isa.R1)
+	f.LI(isa.R1, 1)
+	f.LI(isa.R3, 32)
+	f.CallImport("SSL_write", 3)
+	f.Ret()
+
+	mfts := analyze(t, a)
+	if len(mfts) != 1 {
+		t.Fatalf("got %d MFTs, want 1", len(mfts))
+	}
+	leaves := leafSummary(mfts[0])
+	if !contains(leaves, "nvram:mac") {
+		t.Errorf("staged nvram key not recovered: %v", leaves)
+	}
+	foundFormat := false
+	mfts[0].Root.Walk(func(n *Node) {
+		if n.Format == "mac=%s" {
+			foundFormat = true
+		}
+	})
+	if !foundFormat {
+		t.Errorf("staged format string not recovered; leaves = %v", leaves)
+	}
+}

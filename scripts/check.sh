@@ -9,6 +9,14 @@ cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
 
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "${unformatted}" ]; then
+	echo "gofmt needed on:" >&2
+	echo "${unformatted}" >&2
+	exit 1
+fi
+
 echo "== go vet"
 go vet ./...
 
@@ -17,6 +25,9 @@ go build ./...
 
 echo "== go test -race"
 go test -race ./...
+
+echo "== lint corpus precision (seeded positives, zero false positives)"
+go test -run 'TestCorpusSeededFindings|TestCorpusNegativesClean' ./internal/lint
 
 echo "== fuzz image.Unpack (${FUZZTIME})"
 go test -fuzz=FuzzUnpack -fuzztime="${FUZZTIME}" -run='^$' ./internal/image
