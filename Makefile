@@ -4,10 +4,15 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test check fuzz vet
+.PHONY: build test check fuzz vet bench
 
 build:
 	$(GO) build ./...
+
+# bench measures corpus-batch throughput (AnalyzeImages at -j 1/2/4/8) and
+# the shared-facts single-image win, and records both in BENCH_pipeline.json.
+bench:
+	$(GO) run ./cmd/firmbench -out BENCH_pipeline.json
 
 test:
 	$(GO) test ./...

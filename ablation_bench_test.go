@@ -186,7 +186,7 @@ func wellOrdered(msg *fields.Message) bool {
 // beyond).
 func BenchmarkAblationClusterThreshold(b *testing.B) {
 	_, prog := ablationProgram(b, 14)
-	subs := slices.FormatSubstrings(taint.NewEngine(prog, taint.Options{}).Analyze())
+	subs, _ := slices.FormatSubstrings(taint.NewEngine(prog, taint.Options{}).Analyze())
 	if len(subs) == 0 {
 		b.Fatal("no format substrings")
 	}

@@ -1,0 +1,167 @@
+package firmres
+
+// Corpus-level batch analysis: the §V-E evaluation shape. A batch analyzes
+// many firmware images on a bounded worker pool (WithWorkers) and returns
+// per-image reports in input order plus an aggregate summary, so a
+// 22-device corpus — or a production-scale crawl — is one call instead of
+// one process per image.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"firmres/internal/core"
+	"firmres/internal/errdefs"
+	"firmres/internal/image"
+	"firmres/internal/parallel"
+)
+
+// ImageResult is the outcome for one image of a batch. Exactly one of
+// Report and Error is meaningful: a fatal per-image failure (corrupt image,
+// no device-cloud executable, configuration error) is recorded here instead
+// of aborting the batch.
+type ImageResult struct {
+	// Path is the source file for AnalyzePaths/AnalyzeDir batches, or
+	// "image[i]" for in-memory AnalyzeImages input.
+	Path   string  `json:"path"`
+	Report *Report `json:"report,omitempty"`
+	// Kind is the taxonomy slug of a fatal failure ("corrupt-image",
+	// "no-device-cloud-executable", ...), "" on success.
+	Kind string `json:"kind,omitempty"`
+	// Error is the rendered fatal failure, "" on success.
+	Error string `json:"error,omitempty"`
+	// Err is the underlying fatal failure for errors.Is / errors.As.
+	Err error `json:"-"`
+}
+
+// BatchSummary aggregates a batch run. All counts are derived from the
+// per-image results, so the summary is deterministic at any worker count.
+type BatchSummary struct {
+	Images      int // images submitted
+	Reports     int // images that produced a report
+	Failed      int // images that failed fatally
+	Partial     int // reports that degraded (Report.Partial)
+	Messages    int // reconstructed messages across all reports
+	Flagged     int // messages the form check marked
+	Diagnostics int // lint findings across all reports
+}
+
+// BatchReport is the outcome of one corpus batch: per-image results in
+// input order plus the aggregate summary.
+type BatchReport struct {
+	Images  []ImageResult
+	Summary BatchSummary
+}
+
+// AnalyzeImages analyzes a batch of packed firmware images under ctx on a
+// WithWorkers-bounded pool, returning per-image results in input order. A
+// fatal failure of one image is recorded in its ImageResult and does not
+// stop the batch; the error return is reserved for an expired or cancelled
+// ctx (wrapping ErrStageTimeout and the context error).
+func AnalyzeImages(ctx context.Context, imgs [][]byte, opts ...Option) (*BatchReport, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	results := make([]ImageResult, len(imgs))
+	pl := core.New(cfg.opts)
+	parallel.ForEach(ctx, cfg.workers, len(imgs), func(i int) {
+		results[i] = analyzeBatchImage(ctx, pl, fmt.Sprintf("image[%d]", i), imgs[i])
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("firmres: %w: %w", errdefs.ErrStageTimeout, err)
+	}
+	return batchReport(results), nil
+}
+
+// AnalyzePaths analyzes firmware image files on disk as one batch, with the
+// same contract as AnalyzeImages; unreadable files fail per-image.
+func AnalyzePaths(ctx context.Context, paths []string, opts ...Option) (*BatchReport, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	results := make([]ImageResult, len(paths))
+	pl := core.New(cfg.opts)
+	parallel.ForEach(ctx, cfg.workers, len(paths), func(i int) {
+		data, err := os.ReadFile(paths[i])
+		if err != nil {
+			results[i] = ImageResult{
+				Path: paths[i], Kind: errdefs.Kind(err),
+				Error: err.Error(), Err: err,
+			}
+			return
+		}
+		results[i] = analyzeBatchImage(ctx, pl, paths[i], data)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("firmres: %w: %w", errdefs.ErrStageTimeout, err)
+	}
+	return batchReport(results), nil
+}
+
+// AnalyzeDir analyzes every regular file directly under dir (sorted by
+// name, hidden files skipped) as one batch, with the same contract as
+// AnalyzePaths.
+func AnalyzeDir(ctx context.Context, dir string, opts ...Option) (*BatchReport, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("firmres: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.Type().IsRegular() && e.Name()[0] != '.' {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	return AnalyzePaths(ctx, paths, opts...)
+}
+
+// analyzeBatchImage runs the shared pipeline over one packed image,
+// folding fatal failures into the result slot.
+func analyzeBatchImage(ctx context.Context, pl *core.Pipeline, path string, data []byte) ImageResult {
+	out := ImageResult{Path: path}
+	img, err := image.Unpack(data)
+	if err != nil {
+		err = fmt.Errorf("firmres: %w: %w", errdefs.ErrCorruptImage, err)
+		out.Kind, out.Error, out.Err = errdefs.Kind(err), err.Error(), err
+		return out
+	}
+	res, err := pl.AnalyzeImageContext(ctx, img)
+	if err != nil {
+		out.Kind, out.Error, out.Err = errdefs.Kind(err), err.Error(), err
+		return out
+	}
+	out.Report = reportOf(res)
+	return out
+}
+
+// batchReport assembles the aggregate summary over ordered results.
+func batchReport(results []ImageResult) *BatchReport {
+	br := &BatchReport{Images: results}
+	s := &br.Summary
+	s.Images = len(results)
+	for i := range results {
+		r := results[i].Report
+		if r == nil {
+			s.Failed++
+			continue
+		}
+		s.Reports++
+		if r.Partial() {
+			s.Partial++
+		}
+		s.Messages += len(r.Messages)
+		for _, m := range r.Messages {
+			if m.Flagged {
+				s.Flagged++
+			}
+		}
+		s.Diagnostics += len(r.Diagnostics)
+	}
+	return br
+}

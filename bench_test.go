@@ -8,6 +8,7 @@ package firmres
 // See EXPERIMENTS.md for the paper-vs-measured discussion.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -301,6 +302,38 @@ func BenchmarkScalingByMessages(b *testing.B) {
 			}
 			b.ReportMetric(float64(n), "messages")
 			b.ReportMetric(float64(fields), "fields")
+		})
+	}
+}
+
+// BenchmarkAnalyzeImagesCorpus measures corpus-batch throughput over the
+// full 22-device corpus at several worker counts (the §V-E evaluation at
+// fleet scale). On a single-CPU host every worker count costs the same; on
+// an N-core host the images/sec metric scales with min(N, images).
+// `make bench` runs the cmd/firmbench variant and records the results in
+// BENCH_pipeline.json.
+func BenchmarkAnalyzeImagesCorpus(b *testing.B) {
+	imgs := make([][]byte, 0, 22)
+	for id := 1; id <= 22; id++ {
+		img, err := corpus.BuildImage(corpus.Device(id))
+		if err != nil {
+			b.Fatal(err)
+		}
+		imgs = append(imgs, img.Pack())
+	}
+	for _, j := range []int{1, 2, 4, 8} {
+		j := j
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				br, err := AnalyzeImages(context.Background(), imgs, WithWorkers(j))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if br.Summary.Reports != 20 { // devices 21-22 are script-only
+					b.Fatalf("reports = %d, want 20", br.Summary.Reports)
+				}
+			}
+			b.ReportMetric(float64(len(imgs)*b.N)/b.Elapsed().Seconds(), "images/sec")
 		})
 	}
 }

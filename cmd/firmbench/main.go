@@ -1,0 +1,220 @@
+// Command firmbench measures end-to-end pipeline throughput over the
+// 22-device corpus and writes the results to BENCH_pipeline.json.
+//
+// Two experiments run:
+//
+//   - batch: the packed corpus analyzed via firmres.AnalyzeImages at each
+//     worker count, reporting ns/op (one op = the whole corpus), images/sec,
+//     and the speedup relative to -j 1. Batch workers only help with more
+//     than one CPU: on a GOMAXPROCS=1 host every worker count costs the
+//     same, so interpret the speedup column against the reported gomaxprocs.
+//   - facts_reuse: the single-image win from the shared facts layer, which
+//     is real at any CPU count. The taint engine and the lint passes both
+//     need per-function CFG/def-use/constprop solutions; "cold" computes
+//     them independently per consumer (the pre-facts layout), "shared" reads
+//     both through one facts.Program as the pipeline does.
+//
+// All numbers are measured on the host that runs the command — nothing is
+// estimated or extrapolated.
+//
+// Usage:
+//
+//	firmbench [-out BENCH_pipeline.json] [-reps 3] [-jobs 1,2,4,8]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"firmres"
+	"firmres/internal/corpus"
+	"firmres/internal/facts"
+	"firmres/internal/lint"
+	"firmres/internal/pcode"
+	"firmres/internal/taint"
+)
+
+type batchRow struct {
+	Jobs         int     `json:"jobs"`
+	NsPerOp      int64   `json:"ns_per_op"` // one op = the full corpus batch
+	ImagesPerSec float64 `json:"images_per_sec"`
+	SpeedupVsJ1  float64 `json:"speedup_vs_j1"`
+}
+
+type factsReuse struct {
+	ColdNs   int64   `json:"cold_ns"`   // taint + lint each building private artifacts
+	SharedNs int64   `json:"shared_ns"` // both reading through one facts.Program
+	Speedup  float64 `json:"speedup"`
+}
+
+type report struct {
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	Images     int        `json:"corpus_images"`
+	Reps       int        `json:"reps"` // best-of-N per row
+	Batch      []batchRow `json:"batch"`
+	FactsReuse factsReuse `json:"facts_reuse"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pipeline.json", "output file")
+	reps := flag.Int("reps", 3, "repetitions per configuration (best is kept)")
+	jobsFlag := flag.String("jobs", "1,2,4,8", "comma-separated worker counts")
+	flag.Parse()
+
+	var jobs []int
+	for _, s := range strings.Split(*jobsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "firmbench: bad -jobs entry %q\n", s)
+			os.Exit(2)
+		}
+		jobs = append(jobs, n)
+	}
+
+	imgs, err := packCorpus()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "firmbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Images:     len(imgs),
+		Reps:       *reps,
+	}
+
+	var j1 time.Duration
+	for _, j := range jobs {
+		best, err := bestBatch(imgs, j, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "firmbench: -j %d: %v\n", j, err)
+			os.Exit(1)
+		}
+		if j == 1 || j1 == 0 {
+			j1 = best
+		}
+		row := batchRow{
+			Jobs:         j,
+			NsPerOp:      best.Nanoseconds(),
+			ImagesPerSec: float64(len(imgs)) / best.Seconds(),
+			SpeedupVsJ1:  float64(j1) / float64(best),
+		}
+		rep.Batch = append(rep.Batch, row)
+		fmt.Printf("batch -j %d: %v/op  %.2f images/sec  %.2fx vs -j 1\n",
+			j, best, row.ImagesPerSec, row.SpeedupVsJ1)
+	}
+
+	fr, err := measureFactsReuse(*reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "firmbench: facts reuse: %v\n", err)
+		os.Exit(1)
+	}
+	rep.FactsReuse = fr
+	fmt.Printf("facts reuse: cold %v, shared %v, %.2fx\n",
+		time.Duration(fr.ColdNs), time.Duration(fr.SharedNs), fr.Speedup)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "firmbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "firmbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func packCorpus() ([][]byte, error) {
+	var imgs [][]byte
+	for id := 1; id <= 22; id++ {
+		img, err := corpus.BuildImage(corpus.Device(id))
+		if err != nil {
+			return nil, fmt.Errorf("device %d: %w", id, err)
+		}
+		imgs = append(imgs, img.Pack())
+	}
+	return imgs, nil
+}
+
+// bestBatch analyzes the corpus reps times at the given worker count and
+// returns the fastest wall-clock duration.
+func bestBatch(imgs [][]byte, jobs, reps int) (time.Duration, error) {
+	var best time.Duration
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		br, err := firmres.AnalyzeImages(context.Background(), imgs,
+			firmres.WithLint(), firmres.WithWorkers(jobs))
+		d := time.Since(start)
+		if err != nil {
+			return 0, err
+		}
+		if br.Summary.Reports != 20 { // devices 21-22 are script-only
+			return 0, fmt.Errorf("reports = %d, want 20", br.Summary.Reports)
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// measureFactsReuse times the taint engine plus the lint passes over one
+// device-cloud executable, first with per-consumer artifact computation
+// (cold) and then through a shared facts store, best of reps each.
+func measureFactsReuse(reps int) (factsReuse, error) {
+	bin, err := corpus.EmitDeviceCloudBinary(corpus.Device(17))
+	if err != nil {
+		return factsReuse{}, err
+	}
+	runner, err := lint.NewRunner(nil)
+	if err != nil {
+		return factsReuse{}, err
+	}
+	ctx := context.Background()
+
+	var cold, shared time.Duration
+	for r := 0; r < reps; r++ {
+		// Cold: each consumer lifts and solves on its own (lifting included
+		// in both arms so the comparison isolates the artifact sharing).
+		start := time.Now()
+		progA, err := pcode.LiftProgram(bin)
+		if err != nil {
+			return factsReuse{}, err
+		}
+		taint.NewEngine(progA, taint.Options{}).Analyze()
+		runner.Run(progA, "/bin/cloudd")
+		d := time.Since(start)
+		if cold == 0 || d < cold {
+			cold = d
+		}
+
+		// Shared: both consumers read through one facts.Program.
+		start = time.Now()
+		progB, err := pcode.LiftProgram(bin)
+		if err != nil {
+			return factsReuse{}, err
+		}
+		fx := facts.New(progB)
+		taint.NewEngineFacts(fx, taint.Options{}).AnalyzeContext(ctx, 1)
+		runner.RunFacts(ctx, fx, "/bin/cloudd", 1)
+		d = time.Since(start)
+		if shared == 0 || d < shared {
+			shared = d
+		}
+	}
+	return factsReuse{
+		ColdNs:   cold.Nanoseconds(),
+		SharedNs: shared.Nanoseconds(),
+		Speedup:  float64(cold) / float64(shared),
+	}, nil
+}

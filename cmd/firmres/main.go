@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	firmres [-model file] [-json] [-stage-timeout d] [-keep-going]
+//	firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N]
 //	        [-lint] [-lint-rules r1,r2] [-lint-json] [-timings]
 //	        image.img [image2.img ...]
+//
+// With -j N (N != 1) the images are analyzed as one batch on up to N
+// concurrent workers (N <= 0 means GOMAXPROCS) and the reports print in
+// input order; -j 1 (the default) analyzes sequentially. Output is
+// identical either way.
 //
 // Exit codes: 0 when every image analyzed cleanly, 1 when any image failed
 // fatally, 2 on usage errors, 3 when every image produced a report but at
@@ -14,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -42,6 +48,7 @@ type options struct {
 	lintRules    string
 	lintJSON     bool
 	timings      bool
+	jobs         int
 }
 
 func main() {
@@ -58,12 +65,17 @@ func main() {
 		"emit lint diagnostics as a SARIF 2.1.0 document instead of the text report (implies -lint)")
 	flag.BoolVar(&opts.timings, "timings", false,
 		"print the per-stage timing breakdown in the text report")
+	flag.IntVar(&opts.jobs, "j", 1,
+		"analyze up to N images concurrently (0 = GOMAXPROCS; 1 = sequential)")
 	keepGoing := flag.Bool("keep-going", false,
 		"keep analyzing remaining images after a fatal per-image failure")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-lint] [-lint-rules r1,r2] [-lint-json] [-timings] image.img ...")
+		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N] [-lint] [-lint-rules r1,r2] [-lint-json] [-timings] image.img ...")
 		os.Exit(exitUsage)
+	}
+	if opts.jobs != 1 {
+		os.Exit(runBatch(os.Stdout, flag.Args(), opts, *keepGoing))
 	}
 	exit := exitOK
 	for _, path := range flag.Args() {
@@ -82,15 +94,53 @@ func main() {
 	os.Exit(exit)
 }
 
-// analyze runs one image and renders the report. It reports whether the
-// analysis degraded (partial report) and any fatal error.
-func analyze(w io.Writer, path string, opts options) (partial bool, err error) {
+// runBatch analyzes every image concurrently, then renders the results in
+// input order with the sequential path's exit-code and -keep-going
+// semantics: a fatal image stops the output there unless -keep-going.
+func runBatch(w io.Writer, paths []string, opts options, keepGoing bool) int {
+	br, err := firmres.AnalyzePaths(context.Background(), paths, apiOptions(opts)...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "firmres: %v\n", err)
+		return exitFatal
+	}
+	exit := exitOK
+	for _, res := range br.Images {
+		if errors.Is(res.Err, firmres.ErrNoDeviceCloudExecutable) {
+			fmt.Fprintf(w, "%s: no device-cloud executable (script-based cloud agent?)\n", res.Path)
+			continue
+		}
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "firmres: %s: %v\n", res.Path, res.Err)
+			exit = exitFatal
+			if !keepGoing {
+				return exit
+			}
+			continue
+		}
+		if partial, err := render(w, res.Path, res.Report, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "firmres: %s: %v\n", res.Path, err)
+			exit = exitFatal
+			if !keepGoing {
+				return exit
+			}
+		} else if partial && exit == exitOK {
+			exit = exitPartial
+		}
+	}
+	return exit
+}
+
+// apiOptions maps the CLI flags to analysis options.
+func apiOptions(opts options) []firmres.Option {
 	var apiOpts []firmres.Option
 	if opts.modelPath != "" {
 		apiOpts = append(apiOpts, firmres.WithModelFile(opts.modelPath))
 	}
 	if opts.stageTimeout > 0 {
 		apiOpts = append(apiOpts, firmres.WithStageTimeout(opts.stageTimeout))
+	}
+	if opts.jobs != 1 {
+		apiOpts = append(apiOpts, firmres.WithWorkers(opts.jobs))
 	}
 	if opts.lintRules != "" {
 		var rules []string
@@ -103,7 +153,13 @@ func analyze(w io.Writer, path string, opts options) (partial bool, err error) {
 	} else if opts.lint || opts.lintJSON {
 		apiOpts = append(apiOpts, firmres.WithLint())
 	}
-	report, err := firmres.AnalyzeFile(path, apiOpts...)
+	return apiOpts
+}
+
+// analyze runs one image and renders the report. It reports whether the
+// analysis degraded (partial report) and any fatal error.
+func analyze(w io.Writer, path string, opts options) (partial bool, err error) {
+	report, err := firmres.AnalyzeFile(path, apiOptions(opts)...)
 	if errors.Is(err, firmres.ErrNoDeviceCloudExecutable) {
 		fmt.Fprintf(w, "%s: no device-cloud executable (script-based cloud agent?)\n", path)
 		return false, nil
@@ -111,6 +167,11 @@ func analyze(w io.Writer, path string, opts options) (partial bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	return render(w, path, report, opts)
+}
+
+// render prints one report in the selected output format.
+func render(w io.Writer, path string, report *firmres.Report, opts options) (partial bool, err error) {
 	if opts.lintJSON {
 		return report.Partial(), firmres.WriteSARIF(w, report.Diagnostics)
 	}

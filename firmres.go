@@ -165,7 +165,8 @@ var (
 type Option func(*config)
 
 type config struct {
-	opts core.Options
+	opts    core.Options
+	workers int
 }
 
 // WithKeywordClassifier selects the dictionary-based semantics classifier
@@ -206,6 +207,18 @@ func WithMinHandlerScore(s float64) Option {
 // whatever was recovered. Zero (the default) means no per-stage budget.
 func WithStageTimeout(d time.Duration) Option {
 	return func(c *config) { c.opts.StageTimeout = d }
+}
+
+// WithWorkers bounds the analysis worker pools: batch functions
+// (AnalyzeImages, AnalyzePaths, AnalyzeDir) analyze up to n images
+// concurrently, and within each image the pipeline stages fan out on up to
+// n goroutines. n <= 0 (the default) selects runtime.GOMAXPROCS; 1 runs
+// everything sequentially. Reports are byte-identical at any worker count.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		c.workers = n
+		c.opts.Workers = n
+	}
 }
 
 // WithLint enables the lint-pass stage: pluggable checkers run over every

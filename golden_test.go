@@ -51,10 +51,18 @@ func goldenRecordFor(t *testing.T, id int) *goldenRecord {
 // TestGoldenReports locks the end-to-end analysis output (lint included)
 // for the whole 22-device corpus. Regenerate with `go test -run
 // TestGoldenReports -update .` after an intentional behavior change.
+//
+// The subtests run in parallel (except under -update, where corpus
+// regeneration must stay ordered): 22 concurrent full-pipeline analyses
+// double as a stress test of the shared facts store and the stage worker
+// pools, and the race detector in `make check` patrols them.
 func TestGoldenReports(t *testing.T) {
 	for id := 1; id <= 22; id++ {
 		id := id
 		t.Run(fmt.Sprintf("device_%02d", id), func(t *testing.T) {
+			if !*updateGolden {
+				t.Parallel()
+			}
 			rec := goldenRecordFor(t, id)
 			got, err := json.MarshalIndent(rec, "", "  ")
 			if err != nil {

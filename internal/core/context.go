@@ -8,12 +8,14 @@ import (
 
 	"firmres/internal/binfmt"
 	"firmres/internal/errdefs"
+	"firmres/internal/facts"
 	"firmres/internal/fields"
 	"firmres/internal/formcheck"
 	"firmres/internal/identify"
 	"firmres/internal/image"
 	"firmres/internal/lint"
 	"firmres/internal/mft"
+	"firmres/internal/parallel"
 	"firmres/internal/pcode"
 	"firmres/internal/slices"
 	"firmres/internal/taint"
@@ -33,7 +35,10 @@ var errStageDegraded = errors.New("core: stage degraded")
 // stage finishes in time. A stage that blows its budget is abandoned — its
 // goroutine keeps running until its own loops notice the cancelled context,
 // but its commit is never applied, so abandoned work cannot race with later
-// stages.
+// stages. Stage bodies that fan out onto worker pools (parallel.ForEach)
+// keep these semantics: a worker panic is re-raised on the stage body's
+// goroutine and lands in the recover below, and cancellation stops the pool
+// from claiming new work.
 //
 // Return values: nil when the stage committed; errStageDegraded when the
 // stage timed out or panicked and the failure was appended to res.Errors;
@@ -105,22 +110,30 @@ func (p *Pipeline) runStage(ctx context.Context, res *Result, s Stage, fn func(c
 // whatever was recovered. The error return is reserved for fatal conditions
 // — an expired caller context (wrapped in errdefs.ErrStageTimeout) or an
 // image with no device-cloud executable.
+//
+// Intra-stage work fans out on Options.Workers-bounded pools; every stage
+// collects into input-indexed slots, so the result is identical at any
+// worker count.
 func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*Result, error) {
 	res := &Result{Device: img.Device, Version: img.Version}
 	if err := ctx.Err(); err != nil {
 		return res, fmt.Errorf("core: %w: %w", errdefs.ErrStageTimeout, err)
 	}
+	workers := p.opts.Workers
 
 	// Stage 1: pinpoint the device-cloud executable. Corrupt or panicking
 	// candidates are skipped per-executable; only a complete sweep that
-	// finds nothing is fatal.
+	// finds nothing is fatal. The winner's facts store carries every
+	// per-function artifact identification computed into the later stages.
 	var prog *pcode.Program
+	var fx *facts.Program
 	err := p.runStage(ctx, res, StagePinpoint, func(sctx context.Context) (func(), error) {
 		cand, skips, err := p.pinpoint(sctx, img)
 		return func() {
 			res.Errors = append(res.Errors, skips...)
 			if cand != nil {
-				prog, res.Executable, res.Handlers = cand.prog, cand.path, cand.handlers
+				prog, fx = cand.prog, cand.fx
+				res.Executable, res.Handlers = cand.path, cand.handlers
 			}
 		}, err
 	})
@@ -131,25 +144,26 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*
 	}
 
 	// Stage 2: identify message fields (backward taint, MFT construction).
+	// Delivery sites are traced concurrently through the shared facts
+	// store; the split trees are then simplified and sliced per-message.
 	var mfts []*taint.MFT
 	var trees []*mft.Tree
 	var allSlices [][]slices.Slice
 	if prog != nil {
 		err = p.runStage(ctx, res, StageFields, func(sctx context.Context) (func(), error) {
-			engine := taint.NewEngine(prog, p.opts.Taint)
+			engine := taint.NewEngineFacts(fx, p.opts.Taint)
 			var ms []*taint.MFT
-			for _, m := range engine.Analyze() {
+			for _, m := range engine.AnalyzeContext(sctx, workers) {
 				ms = append(ms, mft.Split(m)...)
 			}
-			ts := make([]*mft.Tree, 0, len(ms))
-			sls := make([][]slices.Slice, 0, len(ms))
-			for _, m := range ms {
-				if sctx.Err() != nil {
-					return nil, fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, sctx.Err())
-				}
-				tree := mft.Simplify(m)
-				ts = append(ts, tree)
-				sls = append(sls, slices.Generate(tree))
+			ts := make([]*mft.Tree, len(ms))
+			sls := make([][]slices.Slice, len(ms))
+			parallel.ForEach(sctx, workers, len(ms), func(i int) {
+				ts[i] = mft.Simplify(ms[i])
+				sls[i] = slices.Generate(ts[i])
+			})
+			if sctx.Err() != nil {
+				return nil, fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, sctx.Err())
 			}
 			return func() { mfts, trees, allSlices = ms, ts, sls }, nil
 		})
@@ -158,15 +172,19 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*
 		}
 	}
 
-	// Stage 3: recover field semantics.
+	// Stage 3: recover field semantics. Per-message classification fans
+	// out; the classifier must be safe for concurrent use (see Options).
 	infos := make([][]fields.SliceInfo, len(trees))
 	err = p.runStage(ctx, res, StageSemantics, func(sctx context.Context) (func(), error) {
 		out := make([][]fields.SliceInfo, len(trees))
-		for i, sl := range allSlices {
-			for _, s := range sl {
+		parallel.ForEach(sctx, workers, len(trees), func(i int) {
+			for _, s := range allSlices[i] {
 				label, conf := p.opts.Classifier.Classify(s)
 				out[i] = append(out[i], fields.SliceInfo{Slice: s, Label: label, Confidence: conf})
 			}
+		})
+		if sctx.Err() != nil {
+			return nil, fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, sctx.Err())
 		}
 		counts := p.clusterCounts(mfts)
 		return func() { infos, res.ClusterCounts = out, counts }, nil
@@ -175,18 +193,26 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*
 		return res, err
 	}
 
-	// Stage 4: concatenate fields into messages.
+	// Stage 4: concatenate fields into messages. Each tree is built by one
+	// worker (fields.Build inverts the tree in place); the shared resolver
+	// is read-only. Config files the resolver had to skip are recorded as
+	// degradation notes.
 	err = p.runStage(ctx, res, StageConcat, func(sctx context.Context) (func(), error) {
-		resolver := ResolverFromImage(img)
-		msgs := make([]MessageResult, 0, len(trees))
-		for i, tree := range trees {
-			msg := fields.Build(tree, infos[i], resolver)
-			msgs = append(msgs, MessageResult{
-				MFT: mfts[i], Tree: tree, Slices: allSlices[i],
-				Infos: infos[i], Message: msg,
-			})
+		resolver, notes := ResolverFromImageNotes(img)
+		msgs := make([]MessageResult, len(trees))
+		parallel.ForEach(sctx, workers, len(trees), func(i int) {
+			msgs[i] = MessageResult{
+				MFT: mfts[i], Tree: trees[i], Slices: allSlices[i],
+				Infos: infos[i], Message: fields.Build(trees[i], infos[i], resolver),
+			}
+		})
+		if sctx.Err() != nil {
+			return nil, fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, sctx.Err())
 		}
-		return func() { res.Messages = msgs }, nil
+		return func() {
+			res.Errors = append(res.Errors, notes...)
+			res.Messages = msgs
+		}, nil
 	})
 	if err != nil && !errors.Is(err, errStageDegraded) {
 		return res, err
@@ -195,12 +221,15 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*
 	// Stage 5: check message forms.
 	err = p.runStage(ctx, res, StageFormCheck, func(sctx context.Context) (func(), error) {
 		findings := make([]formcheck.Finding, len(res.Messages))
-		for i := range res.Messages {
+		parallel.ForEach(sctx, workers, len(res.Messages), func(i int) {
 			mr := &res.Messages[i]
 			if mr.Message.Discarded {
-				continue
+				return
 			}
 			findings[i] = formcheck.Check(mr.Message, img)
+		})
+		if sctx.Err() != nil {
+			return nil, fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, sctx.Err())
 		}
 		return func() {
 			for i := range res.Messages {
@@ -212,15 +241,16 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*
 		return res, err
 	}
 
-	// Stage 6: lint passes over the lifted executable (opt-in). An invalid
-	// rule selection is a configuration error, not a degradation.
+	// Stage 6: lint passes over the lifted executable (opt-in), reading the
+	// same facts the taint stage populated. An invalid rule selection is a
+	// configuration error, not a degradation.
 	if prog != nil && p.opts.Lint {
 		err = p.runStage(ctx, res, StageLint, func(sctx context.Context) (func(), error) {
 			runner, err := lint.NewRunner(p.opts.LintRules)
 			if err != nil {
 				return nil, err
 			}
-			diags := runner.Run(prog, res.Executable)
+			diags := runner.RunFacts(sctx, fx, res.Executable, workers)
 			if sctx.Err() != nil {
 				return nil, fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, sctx.Err())
 			}
@@ -233,38 +263,51 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*
 	return res, nil
 }
 
-// candidate is one pinpointed device-cloud executable contender.
+// candidate is one pinpointed device-cloud executable contender, carrying
+// the facts store its identification populated so later stages reuse it.
 type candidate struct {
 	prog     *pcode.Program
+	fx       *facts.Program
 	path     string
 	handlers []identify.Handler
 	score    float64
 }
 
-// pinpoint lifts every binary executable and returns the one with an
-// asynchronous request handler (§IV-A). Executables that fail to parse,
-// fail to lift, or panic the analyzer are skipped and reported, not fatal:
-// on a hostile corpus one rotten binary must not sink the image.
+// pinpoint lifts every binary executable on a bounded worker pool and
+// returns the one with an asynchronous request handler (§IV-A). Executables
+// that fail to parse, fail to lift, or panic the analyzer are skipped and
+// reported, not fatal: on a hostile corpus one rotten binary must not sink
+// the image. Candidates land in per-file slots and the winner is reduced in
+// file order, so the selection matches a sequential sweep exactly.
 func (p *Pipeline) pinpoint(ctx context.Context, img *image.Image) (*candidate, []errdefs.AnalysisError, error) {
+	var files []*image.File
+	for _, f := range img.Executables() {
+		if f.IsBinary() {
+			files = append(files, f) // scripts are out of scope (§V-B)
+		}
+	}
+	type slot struct {
+		cand *candidate
+		skip *errdefs.AnalysisError
+	}
+	slots := make([]slot, len(files))
+	parallel.ForEach(ctx, p.opts.Workers, len(files), func(i int) {
+		c, skip := p.liftCandidate(files[i])
+		slots[i] = slot{cand: c, skip: skip}
+	})
+
 	var best *candidate
 	var skips []errdefs.AnalysisError
-	for _, f := range img.Executables() {
-		if ctx.Err() != nil {
-			break // abandoned by the stage runner; stop burning CPU
-		}
-		if !f.IsBinary() {
-			continue // scripts are out of scope (§V-B)
-		}
-		c, skip := p.liftCandidate(f)
-		if skip != nil {
-			skips = append(skips, *skip)
+	for _, s := range slots {
+		if s.skip != nil {
+			skips = append(skips, *s.skip)
 			continue
 		}
-		if c == nil {
+		if s.cand == nil {
 			continue // parsed fine, just not a device-cloud executable
 		}
-		if best == nil || c.score > best.score {
-			best = c
+		if best == nil || s.cand.score > best.score {
+			best = s.cand
 		}
 	}
 	if best == nil {
@@ -300,7 +343,8 @@ func (p *Pipeline) liftCandidate(f *image.File) (cand *candidate, skip *errdefs.
 			Err: fmt.Errorf("%w: %w: %w", errdefs.ErrExecutableSkipped, errdefs.ErrCorruptBinary, err),
 		}
 	}
-	idRes := identify.Analyze(prog, identify.WithMinScore(p.opts.MinScore))
+	fx := facts.New(prog)
+	idRes := identify.Analyze(prog, identify.WithMinScore(p.opts.MinScore), identify.WithFacts(fx))
 	if !idRes.IsDeviceCloud {
 		return nil, nil
 	}
@@ -310,5 +354,5 @@ func (p *Pipeline) liftCandidate(f *image.File) (cand *candidate, skip *errdefs.
 			score = h.Score
 		}
 	}
-	return &candidate{prog: prog, path: f.Path, handlers: idRes.Handlers, score: score}, nil
+	return &candidate{prog: prog, fx: fx, path: f.Path, handlers: idRes.Handlers, score: score}, nil
 }

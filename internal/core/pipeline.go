@@ -147,7 +147,10 @@ func (r *Result) FlaggedMessages() []*MessageResult {
 
 // Options configures the pipeline.
 type Options struct {
-	Classifier semantics.Classifier // default: KeywordClassifier
+	// Classifier labels field slices; default: KeywordClassifier. It must
+	// be safe for concurrent use when Workers != 1 (both bundled
+	// classifiers are).
+	Classifier semantics.Classifier
 	Taint      taint.Options
 	MinScore   float64 // identification threshold (identify.WithMinScore)
 	// Thresholds for delimiter clustering; defaults to the paper's
@@ -157,6 +160,13 @@ type Options struct {
 	// is abandoned and recorded in Result.Errors; the remaining stages run
 	// on whatever was recovered. Zero means no per-stage budget.
 	StageTimeout time.Duration
+	// Workers bounds the intra-stage worker pools: candidate executables
+	// are lifted, delivery sites traced, and per-message work (simplify,
+	// classify, concatenate, form-check) processed on up to Workers
+	// goroutines. Zero or negative selects runtime.GOMAXPROCS; 1 runs every
+	// stage sequentially. Results are collected into input-indexed slots,
+	// so the output is byte-identical at any worker count.
+	Workers int
 	// Lint enables the lint-pass stage over the identified executable.
 	Lint bool
 	// LintRules restricts the lint stage to the named rules; empty means
@@ -196,20 +206,12 @@ func (p *Pipeline) AnalyzeImage(img *image.Image) (*Result, error) {
 }
 
 // clusterCounts runs the §IV-C delimiter clustering over the executable's
-// format-string substrings at the configured thresholds.
+// format-string substrings at the configured thresholds. Executables that
+// never use formatted-output assembly yield nil (the "-" rows of Table II);
+// FormatSubstrings reports that in its collection pass, so the trees are
+// walked exactly once.
 func (p *Pipeline) clusterCounts(mfts []*taint.MFT) map[float64]int {
-	subs := slices.FormatSubstrings(mfts)
-	usesSprintf := false
-	for _, m := range mfts {
-		if m.Root == nil {
-			continue
-		}
-		m.Root.Walk(func(n *taint.Node) {
-			if n.Format != "" {
-				usesSprintf = true
-			}
-		})
-	}
+	subs, usesSprintf := slices.FormatSubstrings(mfts)
 	if !usesSprintf {
 		return nil
 	}
@@ -222,17 +224,36 @@ func (p *Pipeline) clusterCounts(mfts []*taint.MFT) map[float64]int {
 
 // ResolverFromImage builds the field-source resolver for message rendering:
 // NVRAM values from /etc/nvram.defaults, configuration values from every
-// other /etc key=value file, and file contents from the image tree.
+// other /etc key=value file, and file contents from the image tree. Parse
+// failures are dropped silently; ResolverFromImageNotes reports them.
 func ResolverFromImage(img *image.Image) *fields.MapResolver {
+	r, _ := ResolverFromImageNotes(img)
+	return r
+}
+
+// ResolverFromImageNotes is ResolverFromImage plus a degradation note for
+// every config-shaped file that failed nvram.Parse. Files with no key=value
+// line at all (certificates, hosts, shell fragments) are not configuration
+// stores and are skipped without a note; a file that does carry key=value
+// lines but fails to parse loses real resolver values, and the analysis
+// must say so instead of silently rendering fields as dynamic.
+func ResolverFromImageNotes(img *image.Image) (*fields.MapResolver, []errdefs.AnalysisError) {
 	r := &fields.MapResolver{
 		NVRAM:  map[string]string{},
 		Config: map[string]string{},
 		Env:    map[string]string{},
 		Files:  map[string]string{},
 	}
+	var notes []errdefs.AnalysisError
 	for _, f := range img.ConfigFiles() {
 		store, err := nvram.Parse(f.Data)
 		if err != nil {
+			if configShaped(f.Data) {
+				notes = append(notes, errdefs.AnalysisError{
+					Stage: StageConcat.String(), Path: f.Path,
+					Err: fmt.Errorf("%w: %w", errdefs.ErrConfigSkipped, err),
+				})
+			}
 			continue // non key=value configs (certificates, hosts, ...)
 		}
 		target := r.Config
@@ -250,7 +271,22 @@ func ResolverFromImage(img *image.Image) *fields.MapResolver {
 			r.Files[f.Path] = string(f.Data)
 		}
 	}
-	return r
+	return r, notes
+}
+
+// configShaped reports whether a file looks like a key=value store: at
+// least one non-comment line with a key before an '=' separator.
+func configShaped(data []byte) bool {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.IndexByte(line, '='); i > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // SortMessagesByFunction orders results by constructor name for

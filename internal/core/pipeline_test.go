@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"firmres/internal/corpus"
+	"firmres/internal/errdefs"
 	"firmres/internal/semantics"
 )
 
@@ -163,5 +164,40 @@ func TestResolverFromImage(t *testing.T) {
 	}
 	if _, ok := r.Files["/etc/hosts"]; !ok {
 		t.Error("files map missing /etc/hosts")
+	}
+}
+
+func TestResolverFromImageNotesCorruptConfig(t *testing.T) {
+	d := corpus.Device(5)
+	img, err := corpus.BuildImage(d)
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	// The stock corpus parses cleanly: hosts/certificate files carry no
+	// key=value line and are skipped without a note.
+	if _, notes := ResolverFromImageNotes(img); len(notes) != 0 {
+		t.Fatalf("clean corpus produced notes: %v", notes)
+	}
+	// A config-shaped file with a malformed entry loses resolver values and
+	// must surface as a degradation note.
+	img.AddFile("/etc/broken.conf", 0, []byte("cloud_host=example.com\ngarbage line\n"))
+	_, notes := ResolverFromImageNotes(img)
+	if len(notes) != 1 {
+		t.Fatalf("notes = %v, want exactly one", notes)
+	}
+	n := notes[0]
+	if n.Path != "/etc/broken.conf" || n.Stage != StageConcat.String() {
+		t.Errorf("note subject = %q stage %q", n.Path, n.Stage)
+	}
+	if !errors.Is(n.Err, errdefs.ErrConfigSkipped) {
+		t.Errorf("note err %v does not wrap ErrConfigSkipped", n.Err)
+	}
+	if errdefs.Kind(n.Err) != "config-skipped" {
+		t.Errorf("kind = %q", errdefs.Kind(n.Err))
+	}
+	// The skip must not poison the rest of the resolver.
+	r, _ := ResolverFromImageNotes(img)
+	if r.NVRAM["mac"] != d.Identity.MAC {
+		t.Errorf("NVRAM mac = %q after skip", r.NVRAM["mac"])
 	}
 }

@@ -37,6 +37,11 @@ var (
 	// while the rest of the image kept analyzing.
 	ErrExecutableSkipped = errors.New("executable skipped")
 
+	// ErrConfigSkipped marks a key=value configuration file dropped while
+	// building the field-source resolver because it failed to parse; the
+	// messages render without its values instead of failing the stage.
+	ErrConfigSkipped = errors.New("config file skipped")
+
 	// ErrNoDeviceCloudExecutable is reported when no binary in the image
 	// contains an asynchronous request handler — script-only devices.
 	ErrNoDeviceCloudExecutable = errors.New("no device-cloud executable identified")
@@ -56,6 +61,7 @@ var sentinels = []struct {
 	{ErrStageTimeout, "stage-timeout"},
 	{ErrStagePanic, "stage-panic"},
 	{ErrExecutableSkipped, "executable-skipped"},
+	{ErrConfigSkipped, "config-skipped"},
 	{ErrNoDeviceCloudExecutable, "no-device-cloud-executable"},
 	{ErrProbeExhausted, "probe-exhausted"},
 }

@@ -1,0 +1,151 @@
+package facts
+
+import (
+	"sync"
+	"testing"
+
+	"firmres/internal/asm"
+	"firmres/internal/isa"
+	"firmres/internal/pcode"
+)
+
+func liftProg(t *testing.T, build func(*asm.Assembler)) *pcode.Program {
+	t.Helper()
+	a := asm.New("t")
+	build(a)
+	bin, err := a.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	prog, err := pcode.LiftProgram(bin)
+	if err != nil {
+		t.Fatalf("LiftProgram: %v", err)
+	}
+	return prog
+}
+
+func twoFuncProg(t *testing.T) *pcode.Program {
+	t.Helper()
+	return liftProg(t, func(a *asm.Assembler) {
+		f := a.Func("callee", 0, true)
+		f.LAStr(isa.R1, "hello")
+		f.Ret()
+		g := a.Func("caller", 0, true)
+		g.Call("callee")
+		g.Ret()
+	})
+}
+
+// TestSingleFlight: concurrent requests for the same function's artifacts
+// all receive the same shared solution pointers.
+func TestSingleFlight(t *testing.T) {
+	prog := twoFuncProg(t)
+	fx := New(prog)
+	fn := prog.Funcs[0]
+
+	const workers = 16
+	handles := make([]*Func, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := fx.Func(fn)
+			h.CFG()
+			h.DefUse()
+			h.Consts()
+			h.Idom()
+			handles[i] = h
+		}(i)
+	}
+	wg.Wait()
+	base := handles[0]
+	for i, h := range handles {
+		if h != base {
+			t.Fatalf("handle %d differs: %p vs %p", i, h, base)
+		}
+	}
+	if base.CFG() != base.CFG() || base.DefUse() != base.DefUse() ||
+		base.Consts() != base.Consts() {
+		t.Error("artifact getters are not stable")
+	}
+}
+
+// TestFuncHandlesAreDistinctPerFunction: different functions get different
+// handles with independently computed artifacts.
+func TestFuncHandlesAreDistinctPerFunction(t *testing.T) {
+	prog := twoFuncProg(t)
+	if len(prog.Funcs) < 2 {
+		t.Fatalf("want 2 funcs, got %d", len(prog.Funcs))
+	}
+	fx := New(prog)
+	a, b := fx.Func(prog.Funcs[0]), fx.Func(prog.Funcs[1])
+	if a == b {
+		t.Fatal("distinct functions share a handle")
+	}
+	if a.CFG() == b.CFG() {
+		t.Error("distinct functions share a CFG")
+	}
+}
+
+// TestCallGraphOnce: the call graph is built once and shared, and reflects
+// the program's edges.
+func TestCallGraphOnce(t *testing.T) {
+	prog := twoFuncProg(t)
+	fx := New(prog)
+	var wg sync.WaitGroup
+	graphs := make([]any, 8)
+	for i := range graphs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			graphs[i] = fx.CallGraph()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(graphs); i++ {
+		if graphs[i] != graphs[0] {
+			t.Fatalf("call graph %d differs", i)
+		}
+	}
+	var callee *pcode.Function
+	for _, fn := range prog.Funcs {
+		if fn.Name() == "callee" {
+			callee = fn
+		}
+	}
+	if callee == nil {
+		t.Fatal("callee not lifted")
+	}
+	if len(fx.CallGraph().Callers(callee)) != 1 {
+		t.Errorf("callee has %d callers, want 1", len(fx.CallGraph().Callers(callee)))
+	}
+}
+
+// TestArgString: the string-constant helpers resolve a rodata argument at a
+// callsite through the constprop solution.
+func TestArgString(t *testing.T) {
+	prog := liftProg(t, func(a *asm.Assembler) {
+		f := a.Func("send", 0, true)
+		f.LAStr(isa.R1, "bind_token")
+		f.CallImport("config_read", 1)
+		f.Ret()
+	})
+	fx := New(prog)
+	sites := prog.CallSitesTo("config_read")
+	if len(sites) != 1 {
+		t.Fatalf("callsites = %d, want 1", len(sites))
+	}
+	site := sites[0]
+	h := fx.Func(site.Fn)
+	s, ok := h.ArgString(site.OpIdx, 0)
+	if !ok || s != "bind_token" {
+		t.Errorf("ArgString = %q, %v", s, ok)
+	}
+	if _, ok := h.ArgString(site.OpIdx, isa.NumArgRegs); ok {
+		t.Error("out-of-range arg index resolved")
+	}
+	if _, ok := h.ArgString(site.OpIdx, -1); ok {
+		t.Error("negative arg index resolved")
+	}
+}

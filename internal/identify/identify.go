@@ -24,9 +24,9 @@ import (
 	"sort"
 
 	"firmres/internal/callgraph"
-	"firmres/internal/cfg"
 	"firmres/internal/dataflow"
 	"firmres/internal/externs"
+	"firmres/internal/facts"
 	"firmres/internal/pcode"
 )
 
@@ -53,6 +53,7 @@ type Option func(*config)
 
 type config struct {
 	minScore float64
+	fx       *facts.Program
 }
 
 // WithMinScore sets the minimum string-parsing score for a sequence to count
@@ -62,6 +63,13 @@ func WithMinScore(s float64) Option {
 	return func(c *config) { c.minScore = s }
 }
 
+// WithFacts reads the call graph and per-function artifacts through an
+// existing facts store instead of computing private ones, so downstream
+// consumers (taint, lint) reuse everything identification solved.
+func WithFacts(fx *facts.Program) Option {
+	return func(c *config) { c.fx = fx }
+}
+
 // Analyze identifies the request handlers of one lifted program and decides
 // whether it is a device-cloud executable.
 func Analyze(prog *pcode.Program, opts ...Option) *Result {
@@ -69,7 +77,11 @@ func Analyze(prog *pcode.Program, opts ...Option) *Result {
 	for _, o := range opts {
 		o(&cfgOpts)
 	}
-	g := callgraph.Build(prog)
+	fx := cfgOpts.fx
+	if fx == nil {
+		fx = facts.New(prog)
+	}
+	g := fx.CallGraph()
 	res := &Result{Prog: prog}
 
 	ins := anchorSites(g, externs.IsRecv)
@@ -84,7 +96,7 @@ func Analyze(prog *pcode.Program, opts ...Option) *Result {
 		if seq == nil {
 			continue
 		}
-		score, parseFn := scoreSequence(prog, pr.in, seq)
+		score, parseFn := scoreSequence(fx, pr.in, seq)
 		if score < cfgOpts.minScore {
 			continue
 		}
@@ -172,11 +184,11 @@ func handlerSequence(g *callgraph.Graph, pr anchorPair) []*pcode.Function {
 
 // scoreSequence computes score_S = max over f in S of P_f, returning the
 // arg-max function (the main parsing function).
-func scoreSequence(prog *pcode.Program, in pcode.CallSite, seq []*pcode.Function) (float64, *pcode.Function) {
+func scoreSequence(fx *facts.Program, in pcode.CallSite, seq []*pcode.Function) (float64, *pcode.Function) {
 	best := 0.0
 	var bestFn *pcode.Function
 	for _, f := range seq {
-		pf := parsingFactor(f, in)
+		pf := parsingFactor(fx.Func(f), in)
 		if bestFn == nil || pf > best {
 			best = pf
 			bestFn = f
@@ -192,9 +204,9 @@ func scoreSequence(prog *pcode.Program, in pcode.CallSite, seq []*pcode.Function
 // callsite is inside f) or through f's parameters (when f sits downstream of
 // the receiving function on the handler sequence and the request is passed
 // along). Origination is decided by a forward intra-procedural taint.
-func parsingFactor(f *pcode.Function, in pcode.CallSite) float64 {
-	graph := cfg.Build(f)
-	du := dataflow.New(f, graph)
+func parsingFactor(ff *facts.Func, in pcode.CallSite) float64 {
+	f := ff.Fn
+	du := ff.DefUse()
 
 	// Taint is tracked per storage location (space, offset): partial-width
 	// accesses (LB/SB) alias the full register.

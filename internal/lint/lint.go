@@ -5,8 +5,9 @@
 // recovery and UVSCAN's usage-violation rules: each checker inspects one
 // function through shared per-function analysis state — the CFG, the
 // reaching-definitions solution, the dominator tree, and a conditional
-// constant-propagation solution (package constprop) — and emits structured
-// diagnostics.
+// constant-propagation solution, all read through the memoized
+// internal/facts store so nothing is recomputed across consumers — and
+// emits structured diagnostics.
 //
 // Checkers register themselves at init time; the Runner executes a selected
 // subset over a program, stamps provenance, deduplicates, and sorts the
@@ -14,14 +15,12 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
-	"firmres/internal/binfmt"
-	"firmres/internal/cfg"
-	"firmres/internal/constprop"
-	"firmres/internal/dataflow"
-	"firmres/internal/isa"
+	"firmres/internal/facts"
+	"firmres/internal/parallel"
 	"firmres/internal/pcode"
 )
 
@@ -82,83 +81,17 @@ type Checker interface {
 	Check(fc *FuncContext) []Diagnostic
 }
 
-// FuncContext carries the shared per-function analysis state. The derived
-// solutions (CFG, def-use, constants, dominators, field plants) are built
-// lazily and memoized, so checkers that need none of them cost nothing.
+// FuncContext carries the shared per-function analysis state a checker
+// reads: the facts-layer handle (CFG, def-use, constants, dominators,
+// string recovery — memoized once per program, shared with the taint
+// engine and handler identification) plus the lint-private field plants.
+// One FuncContext is built per (function, runner invocation) and used by a
+// single goroutine; only the embedded facts.Func is shared.
 type FuncContext struct {
-	Prog *pcode.Program
-	Fn   *pcode.Function
-
-	graph  *cfg.Graph
-	du     *dataflow.DefUse
-	consts *constprop.Result
-	idom   []int
+	*facts.Func
 
 	plants    []plant
 	plantsSet bool
-}
-
-// CFG returns the function's control-flow graph.
-func (fc *FuncContext) CFG() *cfg.Graph {
-	if fc.graph == nil {
-		fc.graph = cfg.Build(fc.Fn)
-	}
-	return fc.graph
-}
-
-// DefUse returns the function's reaching-definitions solution.
-func (fc *FuncContext) DefUse() *dataflow.DefUse {
-	if fc.du == nil {
-		fc.du = dataflow.New(fc.Fn, fc.CFG())
-	}
-	return fc.du
-}
-
-// Consts returns the function's conditional constant-propagation solution.
-func (fc *FuncContext) Consts() *constprop.Result {
-	if fc.consts == nil {
-		fc.consts = constprop.Solve(fc.Fn, fc.CFG())
-	}
-	return fc.consts
-}
-
-// Idom returns the function's immediate-dominator tree.
-func (fc *FuncContext) Idom() []int {
-	if fc.idom == nil {
-		fc.idom = fc.CFG().Dominators()
-	}
-	return fc.idom
-}
-
-// stringAt resolves a data address to a rodata string. Writable buffers
-// (whose first byte is often NUL) are rejected via the data-symbol kind, as
-// the taint engine does.
-func (fc *FuncContext) stringAt(addr uint32) (string, bool) {
-	sym, ok := fc.Prog.Bin.DataSymAt(addr)
-	if !ok || sym.Kind != binfmt.DataString {
-		return "", false
-	}
-	return fc.Prog.Bin.StringAt(addr)
-}
-
-// ConstString resolves the value of v at opIdx to a rodata string constant,
-// following copy chains, arithmetic, and stack spills through the
-// constant-propagation solution.
-func (fc *FuncContext) ConstString(opIdx int, v pcode.Varnode) (string, bool) {
-	val, ok := fc.Consts().ValueAt(opIdx, v)
-	if !ok {
-		return "", false
-	}
-	return fc.stringAt(uint32(val))
-}
-
-// ArgString resolves call argument argIdx at the callsite opIdx to a rodata
-// string constant.
-func (fc *FuncContext) ArgString(opIdx, argIdx int) (string, bool) {
-	if argIdx < 0 || argIdx >= isa.NumArgRegs {
-		return "", false
-	}
-	return fc.ConstString(opIdx, pcode.Register(isa.ArgReg(argIdx)))
 }
 
 // registry holds the compiled-in checkers, keyed by rule name.
@@ -224,17 +157,31 @@ func NewRunner(rules []string) (*Runner, error) {
 // Run executes every selected checker over every function of prog,
 // stamping, deduplicating, and deterministically sorting the findings.
 func (r *Runner) Run(prog *pcode.Program, executable string) []Diagnostic {
-	var out []Diagnostic
-	for _, fn := range prog.Funcs {
-		fc := &FuncContext{Prog: prog, Fn: fn}
+	return r.RunFacts(context.Background(), facts.New(prog), executable, 1)
+}
+
+// RunFacts is Run reading the per-function artifacts through a shared
+// facts store, checking functions on up to workers goroutines (workers <= 0
+// selects GOMAXPROCS). The final Dedupe sort makes the output independent
+// of completion order, so any worker count yields identical diagnostics.
+func (r *Runner) RunFacts(ctx context.Context, fx *facts.Program, executable string, workers int) []Diagnostic {
+	prog := fx.Prog()
+	slots := make([][]Diagnostic, len(prog.Funcs))
+	parallel.ForEach(ctx, workers, len(prog.Funcs), func(i int) {
+		fn := prog.Funcs[i]
+		fc := &FuncContext{Func: fx.Func(fn)}
 		for _, c := range r.checkers {
 			for _, d := range c.Check(fc) {
 				d.Rule = c.Rule()
 				d.Executable = executable
 				d.Function = fn.Name()
-				out = append(out, d)
+				slots[i] = append(slots[i], d)
 			}
 		}
+	})
+	var out []Diagnostic
+	for _, s := range slots {
+		out = append(out, s...)
 	}
 	return Dedupe(out)
 }

@@ -113,7 +113,7 @@ func (fc *FuncContext) newPlant(key string, opIdx int, val pcode.Varnode, via st
 	if !ok {
 		return p
 	}
-	if s, isStr := fc.stringAt(uint32(v)); isStr {
+	if s, isStr := fc.StringAt(uint32(v)); isStr {
 		p.isConst, p.constVal = true, s
 		return p
 	}

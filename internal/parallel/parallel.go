@@ -1,0 +1,94 @@
+// Package parallel provides the bounded worker pool the pipeline stages
+// fan out on. It is deliberately tiny: deterministic consumers index into
+// pre-sized result slices (one slot per input), so no ordering machinery
+// lives here — only bounded concurrency, cooperative cancellation, and
+// panic propagation that preserves the PR-1 stage-recovery semantics.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: n <= 0 selects
+// runtime.GOMAXPROCS(0), and the result is clamped to items so a small
+// input never spawns idle goroutines.
+func Workers(n, items int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > items {
+		n = items
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (Workers-clamped). It blocks until every claimed index finishes.
+//
+// Cancellation is cooperative: once ctx is done, no new index is claimed,
+// so callers must treat unclaimed result slots as absent (the sequential
+// loops this replaces broke out of their range the same way).
+//
+// A panic in fn stops the pool from claiming further work and is re-raised
+// on the calling goroutine with the original panic value, so a stage body
+// running under core's runStage degrades exactly as a sequential panic
+// would. Only the first panic is kept.
+func ForEach(ctx context.Context, workers, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		stopped  atomic.Bool
+		panicVal any
+		panicMu  sync.Mutex
+		wg       sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+					stopped.Store(true)
+				}
+			}()
+			for {
+				if stopped.Load() || (ctx != nil && ctx.Err() != nil) {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

@@ -1,0 +1,84 @@
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersClamp(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct{ n, items, want int }{
+		{0, 100, max},  // 0 means GOMAXPROCS
+		{-3, 100, max}, // negative too
+		{4, 2, 2},      // never more workers than items
+		{1, 100, 1},    // explicit sequential
+		{100, 0, 1},    // empty input still yields a valid count
+	}
+	for _, c := range cases {
+		if got := Workers(c.n, c.items); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.n, c.items, got, c.want)
+		}
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 500
+		counts := make([]atomic.Int32, n)
+		ForEach(context.Background(), workers, n, func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r != "boom" {
+					t.Errorf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			ForEach(context.Background(), workers, 10, func(i int) {
+				if i == 3 {
+					panic("boom")
+				}
+			})
+			t.Errorf("workers=%d: ForEach returned after panic", workers)
+		}()
+	}
+}
+
+func TestForEachStopsOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		ForEach(ctx, workers, 10_000, func(i int) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+		})
+		// Cancellation is cooperative: already-claimed items finish, but the
+		// pool must stop claiming long before draining 10k items.
+		if n := ran.Load(); n >= 10_000 {
+			t.Errorf("workers=%d: all %d items ran despite cancellation", workers, n)
+		}
+		cancel()
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	ForEach(context.Background(), 4, 0, func(int) { called = true })
+	if called {
+		t.Error("fn called with zero items")
+	}
+}

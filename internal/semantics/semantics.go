@@ -13,6 +13,7 @@ package semantics
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"firmres/internal/binfmt"
 	"firmres/internal/cfg"
@@ -109,9 +110,14 @@ func enrichVarnode(bin *binfmt.Binary, fn *pcode.Function, v pcode.Varnode) stri
 // Enricher renders ops with decompiler-style argument folding: a callsite
 // argument register whose reaching definition is a copy of a named variable
 // or a constant is rendered as that variable or constant, the way Ghidra's
-// decompiler presents callsites.
+// decompiler presents callsites. Safe for concurrent use: the caches are
+// mutex-guarded, and a cache miss is computed outside the lock (the
+// underlying solutions are pure), so two goroutines may redundantly compute
+// but never corrupt an entry.
 type Enricher struct {
 	bin *binfmt.Binary
+
+	mu  sync.Mutex
 	dus map[uint32]*dataflow.DefUse
 	ops map[opKey]string // rendered-op cache: slices share construction steps
 }
@@ -131,11 +137,20 @@ func NewEnricher(bin *binfmt.Binary) *Enricher {
 }
 
 func (e *Enricher) du(fn *pcode.Function) *dataflow.DefUse {
-	if d, ok := e.dus[fn.Addr()]; ok {
+	e.mu.Lock()
+	d, ok := e.dus[fn.Addr()]
+	e.mu.Unlock()
+	if ok {
 		return d
 	}
-	d := dataflow.New(fn, cfg.Build(fn))
-	e.dus[fn.Addr()] = d
+	d = dataflow.New(fn, cfg.Build(fn))
+	e.mu.Lock()
+	if prev, ok := e.dus[fn.Addr()]; ok {
+		d = prev // another goroutine won the race; share its solution
+	} else {
+		e.dus[fn.Addr()] = d
+	}
+	e.mu.Unlock()
 	return d
 }
 
@@ -143,11 +158,16 @@ func (e *Enricher) du(fn *pcode.Function) *dataflow.DefUse {
 // Renderings are cached: the slices of one message share most steps.
 func (e *Enricher) Op(fn *pcode.Function, opIdx int) string {
 	key := opKey{fn.Addr(), opIdx}
-	if s, ok := e.ops[key]; ok {
+	e.mu.Lock()
+	s, ok := e.ops[key]
+	e.mu.Unlock()
+	if ok {
 		return s
 	}
-	s := e.renderOp(fn, opIdx)
+	s = e.renderOp(fn, opIdx)
+	e.mu.Lock()
 	e.ops[key] = s
+	e.mu.Unlock()
 	return s
 }
 
@@ -244,11 +264,16 @@ func Tokens(s slices.Slice) []string {
 }
 
 // enricherPool caches one Enricher per binary for a classifier instance.
+// Safe for concurrent use, so the classifiers embedding it satisfy the
+// Classifier concurrency contract.
 type enricherPool struct {
+	mu    sync.Mutex
 	cache map[*binfmt.Binary]*Enricher
 }
 
 func (p *enricherPool) forSlice(s slices.Slice) *Enricher {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.cache == nil {
 		p.cache = make(map[*binfmt.Binary]*Enricher)
 	}
@@ -266,7 +291,12 @@ func (p *enricherPool) tokens(s slices.Slice) []string {
 	return nn.Tokenize(p.forSlice(s).Slice(s))
 }
 
-// Classifier assigns one of the seven labels to a slice.
+// Classifier assigns one of the seven labels to a slice. Implementations
+// must be safe for concurrent Classify calls: the pipeline's semantics
+// stage classifies messages on a worker pool. Both bundled classifiers
+// (KeywordClassifier, ModelClassifier) satisfy this — their shared
+// enrichment caches are mutex-guarded and TextCNN inference allocates its
+// forward state per call.
 type Classifier interface {
 	Classify(s slices.Slice) (label string, confidence float64)
 }

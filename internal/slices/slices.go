@@ -314,8 +314,12 @@ func Cluster(items []string, threshold float64) [][]string {
 
 // FormatSubstrings collects the literal segments of every resolved format
 // string in a set of MFTs — the input population for delimiter clustering.
-func FormatSubstrings(mfts []*taint.MFT) []string {
+// The boolean reports whether any format string was seen at all, so callers
+// deciding whether the executable uses formatted-output assembly need not
+// walk the trees a second time.
+func FormatSubstrings(mfts []*taint.MFT) ([]string, bool) {
 	var out []string
+	sawFormat := false
 	seen := map[string]bool{}
 	for _, m := range mfts {
 		if m.Root == nil {
@@ -325,6 +329,7 @@ func FormatSubstrings(mfts []*taint.MFT) []string {
 			if n.Format == "" {
 				return
 			}
+			sawFormat = true
 			for _, part := range SplitFormat(n.Format) {
 				if !part.Verb && part.Text != "" && !seen[part.Text] {
 					seen[part.Text] = true
@@ -334,5 +339,5 @@ func FormatSubstrings(mfts []*taint.MFT) []string {
 		})
 	}
 	sort.Strings(out)
-	return out
+	return out, sawFormat
 }

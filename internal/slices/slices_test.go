@@ -247,7 +247,10 @@ func TestFormatSubstrings(t *testing.T) {
 		t.Fatalf("LiftProgram: %v", err)
 	}
 	mfts := taint.NewEngine(prog, taint.Options{}).Analyze()
-	subs := FormatSubstrings(mfts)
+	subs, sawFormat := FormatSubstrings(mfts)
+	if !sawFormat {
+		t.Fatal("FormatSubstrings reported no format strings")
+	}
 	want := map[string]bool{"mac=": true, "&sn=": true}
 	for _, s := range subs {
 		delete(want, s)

@@ -1,14 +1,16 @@
 package taint
 
 import (
+	"context"
 	"fmt"
 
 	"firmres/internal/binfmt"
 	"firmres/internal/callgraph"
-	"firmres/internal/cfg"
 	"firmres/internal/constprop"
 	"firmres/internal/dataflow"
+	"firmres/internal/facts"
 	"firmres/internal/isa"
+	"firmres/internal/parallel"
 	"firmres/internal/pcode"
 )
 
@@ -32,75 +34,81 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Engine runs backward taint analyses over one lifted program.
+// Engine runs backward taint analyses over one lifted program. Per-function
+// artifacts (CFG, def-use, constant propagation) and the call graph are
+// read through the shared facts store, so an engine handed the pipeline's
+// store never recomputes what identification or lint already solved. Safe
+// for concurrent tracing: the engine itself is immutable after construction
+// and the facts store single-flights its artifacts.
 type Engine struct {
 	prog *pcode.Program
-	g    *callgraph.Graph
+	fx   *facts.Program
 	opts Options
-	cfgs map[uint32]*cfg.Graph
-	dus  map[uint32]*dataflow.DefUse
-	cps  map[uint32]*constprop.Result
 }
 
-// NewEngine prepares an engine for prog.
+// NewEngine prepares an engine for prog with a private facts store.
 func NewEngine(prog *pcode.Program, opts Options) *Engine {
-	return &Engine{
-		prog: prog,
-		g:    callgraph.Build(prog),
-		opts: opts.withDefaults(),
-		cfgs: make(map[uint32]*cfg.Graph),
-		dus:  make(map[uint32]*dataflow.DefUse),
-		cps:  make(map[uint32]*constprop.Result),
-	}
+	return NewEngineFacts(facts.New(prog), opts)
 }
 
-// du returns the (cached) def-use solution for fn.
+// NewEngineFacts prepares an engine reading through an existing facts
+// store, sharing every per-function artifact already computed for fx's
+// program.
+func NewEngineFacts(fx *facts.Program, opts Options) *Engine {
+	return &Engine{prog: fx.Prog(), fx: fx, opts: opts.withDefaults()}
+}
+
+// du returns the shared def-use solution for fn.
 func (e *Engine) du(fn *pcode.Function) *dataflow.DefUse {
-	if d, ok := e.dus[fn.Addr()]; ok {
-		return d
-	}
-	g, ok := e.cfgs[fn.Addr()]
-	if !ok {
-		g = cfg.Build(fn)
-		e.cfgs[fn.Addr()] = g
-	}
-	d := dataflow.New(fn, g)
-	e.dus[fn.Addr()] = d
-	return d
+	return e.fx.Func(fn).DefUse()
 }
 
-// consts returns the (cached) constant-propagation solution for fn.
+// consts returns the shared constant-propagation solution for fn.
 func (e *Engine) consts(fn *pcode.Function) *constprop.Result {
-	if c, ok := e.cps[fn.Addr()]; ok {
-		return c
-	}
-	g, ok := e.cfgs[fn.Addr()]
-	if !ok {
-		g = cfg.Build(fn)
-		e.cfgs[fn.Addr()] = g
-	}
-	c := constprop.Solve(fn, g)
-	e.cps[fn.Addr()] = c
-	return c
+	return e.fx.Func(fn).Consts()
+}
+
+// callers returns the call-graph edges into fn.
+func (e *Engine) callers(fn *pcode.Function) []callgraph.Edge {
+	return e.fx.CallGraph().Callers(fn)
 }
 
 // Analyze builds one MFT per device-cloud message construction: every
 // delivery callsite, forked per caller when the message buffer arrives
 // through a wrapper parameter.
 func (e *Engine) Analyze() []*MFT {
-	var out []*MFT
+	return e.AnalyzeContext(context.Background(), 1)
+}
+
+// AnalyzeContext is Analyze tracing delivery callsites on up to workers
+// goroutines (workers <= 0 selects GOMAXPROCS). Results are collected into
+// per-callsite slots and flattened in program order, so the MFT sequence is
+// identical at any worker count. A cancelled ctx stops claiming new
+// callsites; a panic while tracing is re-raised on the calling goroutine,
+// preserving the stage-recovery semantics of a sequential run.
+func (e *Engine) AnalyzeContext(ctx context.Context, workers int) []*MFT {
+	type site struct {
+		cs   pcode.CallSite
+		name string
+		args []deliveryArgSpec
+	}
+	var sites []site
 	for _, cs := range e.prog.CallSites() {
 		op := cs.Op()
 		if op.Call == nil {
 			continue
 		}
-		args, ok := deliveryArgs[op.Call.Name]
-		if !ok {
-			continue
+		if args, ok := deliveryArgs[op.Call.Name]; ok {
+			sites = append(sites, site{cs: cs, name: op.Call.Name, args: args})
 		}
-		for _, m := range e.traceDelivery(cs, op.Call.Name, args) {
-			out = append(out, m)
-		}
+	}
+	slots := make([][]*MFT, len(sites))
+	parallel.ForEach(ctx, workers, len(sites), func(i int) {
+		slots[i] = e.traceDelivery(sites[i].cs, sites[i].name, sites[i].args)
+	})
+	var out []*MFT
+	for _, s := range slots {
+		out = append(out, s...)
 	}
 	return out
 }
@@ -119,7 +127,7 @@ func (e *Engine) traceDelivery(cs pcode.CallSite, deliver string, args []deliver
 	du := e.du(cs.Fn)
 	if primary.Index < cs.Fn.Sym.NumParams && du.IsParamLive(cs.OpIdx, pv) {
 		var out []*MFT
-		for _, edge := range e.g.Callers(cs.Fn) {
+		for _, edge := range e.callers(cs.Fn) {
 			ctx := &traceCtx{fn: edge.Site.Fn, callIdx: edge.Site.OpIdx}
 			m := e.buildMFT(cs, deliver, args, ctx)
 			m.Context = edge.Site.Fn.Name()
@@ -232,7 +240,7 @@ func (e *Engine) traceEntryValue(st *traceState, fn *pcode.Function, useIdx int,
 		return []*Node{n}
 	}
 	// Unknown provenance: analyze all possible callsites of the caller.
-	callers := e.g.Callers(fn)
+	callers := e.callers(fn)
 	if len(callers) == 0 {
 		return []*Node{{Kind: LeafUnknown, Fn: fn, OpIdx: useIdx}}
 	}
