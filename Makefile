@@ -9,8 +9,9 @@ FUZZTIME ?= 10s
 build:
 	$(GO) build ./...
 
-# bench measures corpus-batch throughput (AnalyzeImages at -j 1/2/4/8) and
-# the shared-facts single-image win, and records both in BENCH_pipeline.json.
+# bench measures corpus-batch throughput (AnalyzeImages at -j 1/2/4/8), the
+# shared-facts single-image win, and — via an untimed instrumented pass —
+# the facts-store hit/miss rate, recording all of it in BENCH_pipeline.json.
 bench:
 	$(GO) run ./cmd/firmbench -out BENCH_pipeline.json
 

@@ -12,10 +12,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"firmres/internal/core"
 	"firmres/internal/errdefs"
 	"firmres/internal/image"
+	"firmres/internal/obs"
 	"firmres/internal/parallel"
 )
 
@@ -47,6 +49,14 @@ type BatchSummary struct {
 	Messages    int // reconstructed messages across all reports
 	Flagged     int // messages the form check marked
 	Diagnostics int // lint findings across all reports
+	// StageTotals sums each pipeline stage's wall-clock time across every
+	// per-image report — the corpus-level §V-E breakdown the per-image
+	// StageTimings used to be silently dropped from. Nil when no image
+	// produced a report.
+	StageTotals map[string]time.Duration `json:",omitempty"`
+	// Metrics merges every report's WithMetrics snapshot (counters and
+	// histogram components sum per key). Nil without WithMetrics.
+	Metrics map[string]int64 `json:",omitempty"`
 }
 
 // BatchReport is the outcome of one corpus batch: per-image results in
@@ -66,6 +76,7 @@ func AnalyzeImages(ctx context.Context, imgs [][]byte, opts ...Option) (*BatchRe
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.observe(len(imgs))
 	results := make([]ImageResult, len(imgs))
 	pl := core.New(cfg.opts)
 	parallel.ForEach(ctx, cfg.workers, len(imgs), func(i int) {
@@ -84,6 +95,7 @@ func AnalyzePaths(ctx context.Context, paths []string, opts ...Option) (*BatchRe
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.observe(len(paths))
 	results := make([]ImageResult, len(paths))
 	pl := core.New(cfg.opts)
 	parallel.ForEach(ctx, cfg.workers, len(paths), func(i int) {
@@ -162,6 +174,13 @@ func batchReport(results []ImageResult) *BatchReport {
 			}
 		}
 		s.Diagnostics += len(r.Diagnostics)
+		for stage, d := range r.StageTimings {
+			if s.StageTotals == nil {
+				s.StageTotals = make(map[string]time.Duration, len(r.StageTimings))
+			}
+			s.StageTotals[stage] += d
+		}
+		s.Metrics = obs.MergeSnapshots(s.Metrics, r.Metrics)
 	}
 	return br
 }

@@ -14,12 +14,19 @@
 //     them independently per consumer (the pre-facts layout), "shared" reads
 //     both through one facts.Program as the pipeline does.
 //
+// After the timed experiments, one extra untimed corpus pass runs with
+// metrics (and, under -trace-json, span recording) enabled: it feeds the
+// facts-store hit/miss stats in the output JSON and can emit the whole
+// corpus sweep as a single Chrome trace_event file. Keeping instrumentation
+// off the timed passes keeps the throughput numbers honest.
+//
 // All numbers are measured on the host that runs the command — nothing is
 // estimated or extrapolated.
 //
 // Usage:
 //
 //	firmbench [-out BENCH_pipeline.json] [-reps 3] [-jobs 1,2,4,8]
+//	          [-trace-json FILE] [-pprof ADDR]
 package main
 
 import (
@@ -27,11 +34,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
+
+	_ "net/http/pprof"
 
 	"firmres"
 	"firmres/internal/corpus"
@@ -54,6 +64,16 @@ type factsReuse struct {
 	Speedup  float64 `json:"speedup"`
 }
 
+// factsStats summarizes the facts-store request/build counters from the
+// instrumented pass: hits = requests − builds (every artifact is built at
+// most once per function, every later request is a cache hit).
+type factsStats struct {
+	Requests int64   `json:"requests"`
+	Builds   int64   `json:"builds"`
+	Hits     int64   `json:"hits"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
 type report struct {
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	NumCPU     int        `json:"num_cpu"`
@@ -61,13 +81,24 @@ type report struct {
 	Reps       int        `json:"reps"` // best-of-N per row
 	Batch      []batchRow `json:"batch"`
 	FactsReuse factsReuse `json:"facts_reuse"`
+	Facts      factsStats `json:"facts"` // from the untimed instrumented pass
 }
 
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "output file")
 	reps := flag.Int("reps", 3, "repetitions per configuration (best is kept)")
 	jobsFlag := flag.String("jobs", "1,2,4,8", "comma-separated worker counts")
+	traceJSON := flag.String("trace-json", "", "write the instrumented corpus sweep as one Chrome trace_event `file`")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060) while benchmarking")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func(addr string) {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "firmbench: pprof: %v\n", err)
+			}
+		}(*pprofAddr)
+	}
 
 	var jobs []int
 	for _, s := range strings.Split(*jobsFlag, ",") {
@@ -121,6 +152,15 @@ func main() {
 	rep.FactsReuse = fr
 	fmt.Printf("facts reuse: cold %v, shared %v, %.2fx\n",
 		time.Duration(fr.ColdNs), time.Duration(fr.SharedNs), fr.Speedup)
+
+	fs, err := instrumentedPass(imgs, *traceJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "firmbench: instrumented pass: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Facts = fs
+	fmt.Printf("facts store: %d requests, %d builds, %.1f%% hit rate\n",
+		fs.Requests, fs.Builds, 100*fs.HitRate)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -217,4 +257,60 @@ func measureFactsReuse(reps int) (factsReuse, error) {
 		SharedNs: shared.Nanoseconds(),
 		Speedup:  float64(cold) / float64(shared),
 	}, nil
+}
+
+// instrumentedPass analyzes the corpus once, untimed, with metrics enabled
+// — and span recording too when traceJSON names a file — then distills the
+// facts-store hit/miss stats from the merged snapshot. Running it apart
+// from the timed passes keeps instrumentation cost out of the throughput
+// numbers.
+func instrumentedPass(imgs [][]byte, traceJSON string) (factsStats, error) {
+	opts := []firmres.Option{firmres.WithLint(), firmres.WithMetrics()}
+	var tr *firmres.Trace
+	if traceJSON != "" {
+		tr = firmres.NewTrace()
+		opts = append(opts, firmres.WithTrace(tr))
+	}
+	br, err := firmres.AnalyzeImages(context.Background(), imgs, opts...)
+	if err != nil {
+		return factsStats{}, err
+	}
+	if tr != nil {
+		f, err := os.Create(traceJSON)
+		if err != nil {
+			return factsStats{}, err
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return factsStats{}, err
+		}
+		if err := f.Close(); err != nil {
+			return factsStats{}, err
+		}
+		fmt.Printf("wrote %s\n", traceJSON)
+	}
+	return factsStatsOf(br.Summary.Metrics), nil
+}
+
+// factsStatsOf sums the per-artifact facts_requests_total and
+// facts_builds_total counters out of a metrics snapshot.
+func factsStatsOf(metrics map[string]int64) factsStats {
+	var fs factsStats
+	for key, v := range metrics {
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			name = key[:i]
+		}
+		switch name {
+		case "facts_requests_total":
+			fs.Requests += v
+		case "facts_builds_total":
+			fs.Builds += v
+		}
+	}
+	fs.Hits = fs.Requests - fs.Builds
+	if fs.Requests > 0 {
+		fs.HitRate = float64(fs.Hits) / float64(fs.Requests)
+	}
+	return fs
 }

@@ -6,12 +6,20 @@
 //
 //	firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N]
 //	        [-lint] [-lint-rules r1,r2] [-lint-json] [-timings]
-//	        image.img [image2.img ...]
+//	        [-trace] [-trace-json file] [-metrics file] [-progress]
+//	        [-pprof addr] image.img [image2.img ...]
 //
 // With -j N (N != 1) the images are analyzed as one batch on up to N
 // concurrent workers (N <= 0 means GOMAXPROCS) and the reports print in
 // input order; -j 1 (the default) analyzes sequentially. Output is
 // identical either way.
+//
+// Observability: -trace prints the hierarchical span tree of the run to
+// stderr; -trace-json writes the same spans as Chrome trace_event JSON
+// (chrome://tracing, Perfetto); -metrics writes the aggregated work
+// counters in Prometheus text format; -progress reports per-image progress
+// on stderr; -pprof serves net/http/pprof on the given address for the
+// duration of the run. None of these change the analysis output.
 //
 // Exit codes: 0 when every image analyzed cleanly, 1 when any image failed
 // fatally, 2 on usage errors, 3 when every image produced a report but at
@@ -25,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -49,9 +59,20 @@ type options struct {
 	lintJSON     bool
 	timings      bool
 	jobs         int
+	trace        bool
+	traceJSON    string
+	metricsPath  string
+	progress     bool
+	pprofAddr    string
 }
 
+// main delegates to run so the observability sinks' deferred writes happen
+// before the process exits (os.Exit skips defers).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var opts options
 	flag.StringVar(&opts.modelPath, "model", "", "trained TextCNN model file (default: keyword classifier)")
 	flag.BoolVar(&opts.asJSON, "json", false, "emit the report as JSON")
@@ -67,42 +88,155 @@ func main() {
 		"print the per-stage timing breakdown in the text report")
 	flag.IntVar(&opts.jobs, "j", 1,
 		"analyze up to N images concurrently (0 = GOMAXPROCS; 1 = sequential)")
+	flag.BoolVar(&opts.trace, "trace", false,
+		"print the hierarchical span tree of the run to stderr")
+	flag.StringVar(&opts.traceJSON, "trace-json", "",
+		"write the run's spans as Chrome trace_event JSON to this file")
+	flag.StringVar(&opts.metricsPath, "metrics", "",
+		"write the run's aggregated work counters in Prometheus text format to this file")
+	flag.BoolVar(&opts.progress, "progress", false,
+		"report per-image progress on stderr")
+	flag.StringVar(&opts.pprofAddr, "pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	keepGoing := flag.Bool("keep-going", false,
 		"keep analyzing remaining images after a fatal per-image failure")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N] [-lint] [-lint-rules r1,r2] [-lint-json] [-timings] image.img ...")
-		os.Exit(exitUsage)
+		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N] [-lint] [-lint-rules r1,r2] [-lint-json] [-timings] [-trace] [-trace-json file] [-metrics file] [-progress] [-pprof addr] image.img ...")
+		return exitUsage
 	}
+	if opts.pprofAddr != "" {
+		servePprof(opts.pprofAddr)
+	}
+	sink := newObsSink(opts)
+	defer sink.finish()
 	if opts.jobs != 1 {
-		os.Exit(runBatch(os.Stdout, flag.Args(), opts, *keepGoing))
+		return runBatch(os.Stdout, flag.Args(), opts, *keepGoing, sink)
 	}
 	exit := exitOK
-	for _, path := range flag.Args() {
-		partial, err := analyze(os.Stdout, path, opts)
+	paths := flag.Args()
+	for i, path := range paths {
+		start := time.Now()
+		partial, err := analyze(os.Stdout, path, opts, sink)
+		if opts.progress {
+			fmt.Fprintf(os.Stderr, "progress: %d/%d images (%d%%)  %s done in %v\n",
+				i+1, len(paths), (i+1)*100/len(paths), path, time.Since(start).Round(time.Millisecond))
+		}
 		switch {
 		case err != nil:
 			fmt.Fprintf(os.Stderr, "firmres: %s: %v\n", path, err)
 			exit = exitFatal
 			if !*keepGoing {
-				os.Exit(exit)
+				return exit
 			}
 		case partial && exit == exitOK:
 			exit = exitPartial
 		}
 	}
-	os.Exit(exit)
+	return exit
+}
+
+// servePprof exposes the runtime profiles while the analysis runs. Failures
+// are warnings: profiling must never take the analysis down.
+func servePprof(addr string) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "firmres: pprof: %v\n", err)
+		}
+	}()
+}
+
+// obsSink accumulates the run's observability outputs — one trace and one
+// merged metrics snapshot across every analyzed image — and writes them
+// when the run finishes.
+type obsSink struct {
+	opts    options
+	trace   *firmres.Trace
+	metrics map[string]int64
+}
+
+func newObsSink(opts options) *obsSink {
+	s := &obsSink{opts: opts}
+	if opts.trace || opts.traceJSON != "" {
+		s.trace = firmres.NewTrace()
+	}
+	return s
+}
+
+// options returns the analysis options the sink needs threaded into every
+// Analyze call. The batch path attaches the progress reporter here (its
+// total is the whole batch); the sequential path prints progress itself.
+// Nil-safe: a nil sink configures nothing.
+func (s *obsSink) options(batch bool) []firmres.Option {
+	if s == nil {
+		return nil
+	}
+	var out []firmres.Option
+	if s.trace != nil {
+		out = append(out, firmres.WithTrace(s.trace))
+	}
+	if s.opts.metricsPath != "" {
+		out = append(out, firmres.WithMetrics())
+	}
+	if batch && s.opts.progress {
+		out = append(out, firmres.WithProgress(os.Stderr))
+	}
+	return out
+}
+
+// merge folds one report's metrics snapshot into the run aggregate.
+// Nil-safe: a nil sink discards the snapshot.
+func (s *obsSink) merge(m map[string]int64) {
+	if s == nil {
+		return
+	}
+	s.metrics = firmres.MergeMetrics(s.metrics, m)
+}
+
+// finish writes the collected trace and metrics to their destinations.
+func (s *obsSink) finish() {
+	if s.trace != nil && s.opts.trace {
+		if err := s.trace.WriteTree(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "firmres: trace: %v\n", err)
+		}
+	}
+	if s.trace != nil && s.opts.traceJSON != "" {
+		if err := writeFile(s.opts.traceJSON, s.trace.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "firmres: trace-json: %v\n", err)
+		}
+	}
+	if s.opts.metricsPath != "" {
+		write := func(w io.Writer) error { return firmres.WriteMetrics(w, s.metrics) }
+		if err := writeFile(s.opts.metricsPath, write); err != nil {
+			fmt.Fprintf(os.Stderr, "firmres: metrics: %v\n", err)
+		}
+	}
+}
+
+// writeFile streams one export into a freshly created file.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runBatch analyzes every image concurrently, then renders the results in
 // input order with the sequential path's exit-code and -keep-going
 // semantics: a fatal image stops the output there unless -keep-going.
-func runBatch(w io.Writer, paths []string, opts options, keepGoing bool) int {
-	br, err := firmres.AnalyzePaths(context.Background(), paths, apiOptions(opts)...)
+func runBatch(w io.Writer, paths []string, opts options, keepGoing bool, sink *obsSink) int {
+	apiOpts := append(apiOptions(opts), sink.options(true)...)
+	br, err := firmres.AnalyzePaths(context.Background(), paths, apiOpts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "firmres: %v\n", err)
 		return exitFatal
 	}
+	sink.merge(br.Summary.Metrics)
 	exit := exitOK
 	for _, res := range br.Images {
 		if errors.Is(res.Err, firmres.ErrNoDeviceCloudExecutable) {
@@ -125,6 +259,12 @@ func runBatch(w io.Writer, paths []string, opts options, keepGoing bool) int {
 			}
 		} else if partial && exit == exitOK {
 			exit = exitPartial
+		}
+	}
+	if opts.timings && len(br.Summary.StageTotals) > 0 {
+		fmt.Fprintf(w, "== batch stage totals (%d report(s))\n", br.Summary.Reports)
+		for _, name := range firmres.StageNames() {
+			fmt.Fprintf(w, "   %-24s %v\n", name, br.Summary.StageTotals[name])
 		}
 	}
 	return exit
@@ -158,8 +298,9 @@ func apiOptions(opts options) []firmres.Option {
 
 // analyze runs one image and renders the report. It reports whether the
 // analysis degraded (partial report) and any fatal error.
-func analyze(w io.Writer, path string, opts options) (partial bool, err error) {
-	report, err := firmres.AnalyzeFile(path, apiOptions(opts)...)
+func analyze(w io.Writer, path string, opts options, sink *obsSink) (partial bool, err error) {
+	apiOpts := append(apiOptions(opts), sink.options(false)...)
+	report, err := firmres.AnalyzeFile(path, apiOpts...)
 	if errors.Is(err, firmres.ErrNoDeviceCloudExecutable) {
 		fmt.Fprintf(w, "%s: no device-cloud executable (script-based cloud agent?)\n", path)
 		return false, nil
@@ -167,6 +308,7 @@ func analyze(w io.Writer, path string, opts options) (partial bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	sink.merge(report.Metrics)
 	return render(w, path, report, opts)
 }
 

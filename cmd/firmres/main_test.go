@@ -28,7 +28,7 @@ func writeImage(t *testing.T, id int) string {
 
 func TestAnalyzeTextOutput(t *testing.T) {
 	var out bytes.Buffer
-	partial, err := analyze(&out, writeImage(t, 5), options{})
+	partial, err := analyze(&out, writeImage(t, 5), options{}, nil)
 	if err != nil {
 		t.Errorf("analyze: %v", err)
 	}
@@ -42,7 +42,7 @@ func TestAnalyzeTextOutput(t *testing.T) {
 
 func TestAnalyzeJSONOutput(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := analyze(&out, writeImage(t, 5), options{asJSON: true}); err != nil {
+	if _, err := analyze(&out, writeImage(t, 5), options{asJSON: true}, nil); err != nil {
 		t.Errorf("analyze -json: %v", err)
 	}
 	var report firmres.Report
@@ -55,7 +55,7 @@ func TestAnalyzeLintTextOutput(t *testing.T) {
 	path := writeImage(t, 11)
 	render := func() string {
 		var out bytes.Buffer
-		if _, err := analyze(&out, path, options{lint: true}); err != nil {
+		if _, err := analyze(&out, path, options{lint: true}, nil); err != nil {
 			t.Fatalf("analyze -lint: %v", err)
 		}
 		return out.String()
@@ -73,7 +73,7 @@ func TestAnalyzeLintTextOutput(t *testing.T) {
 
 func TestAnalyzeLintRulesFilter(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := analyze(&out, writeImage(t, 11), options{lintRules: "dead-store"}); err != nil {
+	if _, err := analyze(&out, writeImage(t, 11), options{lintRules: "dead-store"}, nil); err != nil {
 		t.Fatalf("analyze -lint-rules: %v", err)
 	}
 	text := out.String()
@@ -83,14 +83,14 @@ func TestAnalyzeLintRulesFilter(t *testing.T) {
 	if strings.Contains(text, "hardcoded-secret svc_auth_fallback") {
 		t.Errorf("rule filter leaked other rules: %q", text)
 	}
-	if _, err := analyze(&out, writeImage(t, 11), options{lintRules: "bogus"}); err == nil {
+	if _, err := analyze(&out, writeImage(t, 11), options{lintRules: "bogus"}, nil); err == nil {
 		t.Error("unknown rule accepted")
 	}
 }
 
 func TestAnalyzeLintCleanDevice(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := analyze(&out, writeImage(t, 4), options{lint: true}); err != nil {
+	if _, err := analyze(&out, writeImage(t, 4), options{lint: true}, nil); err != nil {
 		t.Fatalf("analyze -lint: %v", err)
 	}
 	if !strings.Contains(out.String(), "lint: clean") {
@@ -100,7 +100,7 @@ func TestAnalyzeLintCleanDevice(t *testing.T) {
 
 func TestAnalyzeLintSARIFOutput(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := analyze(&out, writeImage(t, 11), options{lintJSON: true}); err != nil {
+	if _, err := analyze(&out, writeImage(t, 11), options{lintJSON: true}, nil); err != nil {
 		t.Fatalf("analyze -lint-json: %v", err)
 	}
 	var doc struct {
@@ -129,7 +129,7 @@ func TestAnalyzeLintSARIFOutput(t *testing.T) {
 
 func TestAnalyzeTimingsFlag(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := analyze(&out, writeImage(t, 5), options{timings: true}); err != nil {
+	if _, err := analyze(&out, writeImage(t, 5), options{timings: true}, nil); err != nil {
 		t.Fatalf("analyze -timings: %v", err)
 	}
 	text := out.String()
@@ -142,14 +142,14 @@ func TestAnalyzeTimingsFlag(t *testing.T) {
 
 func TestAnalyzeScriptOnlyIsNotAnError(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := analyze(&out, writeImage(t, 21), options{}); err != nil {
+	if _, err := analyze(&out, writeImage(t, 21), options{}, nil); err != nil {
 		t.Errorf("script-only device treated as error: %v", err)
 	}
 }
 
 func TestAnalyzeMissingFile(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := analyze(&out, filepath.Join(t.TempDir(), "nope.img"), options{}); err == nil {
+	if _, err := analyze(&out, filepath.Join(t.TempDir(), "nope.img"), options{}, nil); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -169,7 +169,7 @@ func TestAnalyzePartialReportRenders(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	partial, err := analyze(&out, path, options{})
+	partial, err := analyze(&out, path, options{}, nil)
 	if err != nil {
 		t.Fatalf("analyze: %v", err)
 	}
@@ -192,7 +192,7 @@ func TestAnalyzePartialReportRenders(t *testing.T) {
 // rendered partial result, never a hang or crash.
 func TestAnalyzeStageTimeoutFlag(t *testing.T) {
 	var out bytes.Buffer
-	partial, err := analyze(&out, writeImage(t, 5), options{stageTimeout: time.Nanosecond})
+	partial, err := analyze(&out, writeImage(t, 5), options{stageTimeout: time.Nanosecond}, nil)
 	if err != nil {
 		t.Fatalf("analyze: %v", err)
 	}

@@ -108,6 +108,13 @@ type Report struct {
 	Messages      []Message
 	ClusterCounts map[string]int // "0.5"/"0.6"/"0.7" -> delimiter clusters; nil without sprintf
 	StageTimings  map[string]time.Duration
+	// Metrics is the work-derived counter/histogram snapshot of the
+	// analysis; populated only under WithMetrics. Keys are Prometheus-style
+	// (`taint_mfts_total`, `facts_requests_total{artifact="cfg"}`,
+	// histograms expanded to _count/_sum/_min/_max). Values depend only on
+	// the work performed, so snapshots are identical at any WithWorkers
+	// count.
+	Metrics map[string]int64 `json:",omitempty"`
 	// Diagnostics lists the lint-pass findings over the identified
 	// executable, deduplicated and deterministically ordered. Populated only
 	// when WithLint is set.
@@ -165,8 +172,11 @@ var (
 type Option func(*config)
 
 type config struct {
-	opts    core.Options
-	workers int
+	opts      core.Options
+	workers   int
+	trace     *Trace
+	observers []Observer
+	progressW io.Writer
 }
 
 // WithKeywordClassifier selects the dictionary-based semantics classifier
@@ -297,6 +307,7 @@ func analyze(ctx context.Context, img *image.Image, opts ...Option) (*Report, er
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.observe(1)
 	res, err := core.New(cfg.opts).AnalyzeImageContext(ctx, img)
 	if err != nil {
 		return nil, err
@@ -310,6 +321,7 @@ func reportOf(res *core.Result) *Report {
 		Version:      res.Version,
 		Executable:   res.Executable,
 		StageTimings: map[string]time.Duration{},
+		Metrics:      res.Metrics,
 	}
 	for s := core.StagePinpoint; s < core.Stage(len(res.Timing)); s++ {
 		r.StageTimings[s.String()] = res.Timing[s]

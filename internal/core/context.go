@@ -15,8 +15,10 @@ import (
 	"firmres/internal/image"
 	"firmres/internal/lint"
 	"firmres/internal/mft"
+	"firmres/internal/obs"
 	"firmres/internal/parallel"
 	"firmres/internal/pcode"
+	"firmres/internal/semantics"
 	"firmres/internal/slices"
 	"firmres/internal/taint"
 )
@@ -46,11 +48,18 @@ var errStageDegraded = errors.New("core: stage degraded")
 // errdefs.ErrStageTimeout) or the stage body reported one.
 func (p *Pipeline) runStage(ctx context.Context, res *Result, s Stage, fn func(context.Context) (func(), error)) error {
 	start := time.Now()
+	// Stage span: a child of the image span the caller put on ctx. The
+	// stage body receives the span through its context, so inner-loop
+	// grandchildren (taint sites, lint functions, ...) nest under it. The
+	// span's extent is exactly the interval Result.Timing records.
+	sp := obs.FromContext(ctx).Child(s.String())
+	defer sp.End()
 	stageCtx, cancel := ctx, func() {}
 	if p.opts.StageTimeout > 0 {
 		stageCtx, cancel = context.WithTimeout(ctx, p.opts.StageTimeout)
 	}
 	defer cancel()
+	stageCtx = obs.ContextWith(stageCtx, sp)
 
 	type outcome struct {
 		commit func()
@@ -80,9 +89,15 @@ func (p *Pipeline) runStage(ctx context.Context, res *Result, s Stage, fn func(c
 			degradable := errors.Is(out.err, errdefs.ErrStagePanic) ||
 				errors.Is(out.err, errdefs.ErrStageTimeout)
 			if degradable && ctx.Err() == nil {
+				if errors.Is(out.err, errdefs.ErrStagePanic) {
+					sp.SetStatus("panic")
+				} else {
+					sp.SetStatus("timeout")
+				}
 				res.Errors = append(res.Errors, errdefs.AnalysisError{Stage: s.String(), Err: out.err})
 				return errStageDegraded
 			}
+			sp.SetStatus("fatal")
 			if ctx.Err() != nil && degradable {
 				return fmt.Errorf("core: %w: %s: %w", errdefs.ErrStageTimeout, s, ctx.Err())
 			}
@@ -94,8 +109,10 @@ func (p *Pipeline) runStage(ctx context.Context, res *Result, s Stage, fn func(c
 		if err := ctx.Err(); err != nil {
 			// The caller's context died, not just this stage's budget:
 			// fatal for the whole analysis.
+			sp.SetStatus("fatal")
 			return fmt.Errorf("core: %w: %s: %w", errdefs.ErrStageTimeout, s, err)
 		}
+		sp.SetStatus("timeout")
 		res.Errors = append(res.Errors, errdefs.AnalysisError{
 			Stage: s.String(),
 			Err:   fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, stageCtx.Err()),
@@ -114,8 +131,33 @@ func (p *Pipeline) runStage(ctx context.Context, res *Result, s Stage, fn func(c
 // Intra-stage work fans out on Options.Workers-bounded pools; every stage
 // collects into input-indexed slots, so the result is identical at any
 // worker count.
-func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*Result, error) {
-	res := &Result{Device: img.Device, Version: img.Version}
+func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (res *Result, err error) {
+	res = &Result{Device: img.Device, Version: img.Version}
+	var met *obs.Metrics
+	if p.opts.Metrics {
+		met = obs.NewMetrics()
+	}
+	imgSpan := p.opts.Obs.StartSpan(obs.FromContext(ctx), "image",
+		obs.String("device", img.Device), obs.String("version", img.Version))
+	ctx = obs.ContextWith(ctx, imgSpan)
+	defer func() {
+		// Degradation accounting happens once, after every stage ran:
+		// errors_total{kind,stage} covers skipped executables, timed-out or
+		// panicked stages, and unparseable config files alike.
+		for _, ae := range res.Errors {
+			met.Counter("errors_total", "kind", ae.Kind(), "stage", ae.Stage).Inc()
+		}
+		if met != nil {
+			res.Metrics = met.Snapshot()
+		}
+		switch {
+		case err != nil:
+			imgSpan.SetStatus("fatal: " + errdefs.Kind(err))
+		case res.Partial():
+			imgSpan.SetStatus("partial")
+		}
+		imgSpan.End()
+	}()
 	if err := ctx.Err(); err != nil {
 		return res, fmt.Errorf("core: %w: %w", errdefs.ErrStageTimeout, err)
 	}
@@ -127,8 +169,8 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*
 	// per-function artifact identification computed into the later stages.
 	var prog *pcode.Program
 	var fx *facts.Program
-	err := p.runStage(ctx, res, StagePinpoint, func(sctx context.Context) (func(), error) {
-		cand, skips, err := p.pinpoint(sctx, img)
+	err = p.runStage(ctx, res, StagePinpoint, func(sctx context.Context) (func(), error) {
+		cand, skips, err := p.pinpoint(sctx, met, img)
 		return func() {
 			res.Errors = append(res.Errors, skips...)
 			if cand != nil {
@@ -156,12 +198,20 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*
 			for _, m := range engine.AnalyzeContext(sctx, workers) {
 				ms = append(ms, mft.Split(m)...)
 			}
+			met.Counter("mfts_total").Add(int64(len(ms)))
 			ts := make([]*mft.Tree, len(ms))
 			sls := make([][]slices.Slice, len(ms))
-			parallel.ForEach(sctx, workers, len(ms), func(i int) {
+			ran := parallel.ForEach(sctx, workers, len(ms), func(i int) {
+				sp := obs.StartChild(sctx, "mft-simplify",
+					obs.String("fn", ms[i].Site.Fn.Name()))
 				ts[i] = mft.Simplify(ms[i])
 				sls[i] = slices.Generate(ts[i])
+				sp.AddAttr(obs.Int("slices", len(sls[i])))
+				sp.End()
 			})
+			if ran < len(ms) {
+				met.Counter("work_abandoned_total", "stage", StageFields.String()).Add(int64(len(ms) - ran))
+			}
 			if sctx.Err() != nil {
 				return nil, fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, sctx.Err())
 			}
@@ -176,12 +226,16 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*
 	// out; the classifier must be safe for concurrent use (see Options).
 	infos := make([][]fields.SliceInfo, len(trees))
 	err = p.runStage(ctx, res, StageSemantics, func(sctx context.Context) (func(), error) {
+		classify := semantics.Observed(p.opts.Classifier, met)
 		out := make([][]fields.SliceInfo, len(trees))
 		parallel.ForEach(sctx, workers, len(trees), func(i int) {
+			sp := obs.StartChild(sctx, "classify",
+				obs.String("fn", mfts[i].Site.Fn.Name()), obs.Int("slices", len(allSlices[i])))
 			for _, s := range allSlices[i] {
-				label, conf := p.opts.Classifier.Classify(s)
+				label, conf := classify.Classify(s)
 				out[i] = append(out[i], fields.SliceInfo{Slice: s, Label: label, Confidence: conf})
 			}
+			sp.End()
 		})
 		if sctx.Err() != nil {
 			return nil, fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, sctx.Err())
@@ -201,10 +255,18 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*
 		resolver, notes := ResolverFromImageNotes(img)
 		msgs := make([]MessageResult, len(trees))
 		parallel.ForEach(sctx, workers, len(trees), func(i int) {
+			sp := obs.StartChild(sctx, "build-message",
+				obs.String("fn", mfts[i].Site.Fn.Name()))
 			msgs[i] = MessageResult{
 				MFT: mfts[i], Tree: trees[i], Slices: allSlices[i],
 				Infos: infos[i], Message: fields.Build(trees[i], infos[i], resolver),
 			}
+			met.Histogram("fields_per_message").Observe(int64(len(msgs[i].Message.Fields)))
+			for _, fl := range msgs[i].Message.Fields {
+				met.Counter("message_fields_total", "label", fl.Semantics).Inc()
+			}
+			sp.AddAttr(obs.Int("fields", len(msgs[i].Message.Fields)))
+			sp.End()
 		})
 		if sctx.Err() != nil {
 			return nil, fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, sctx.Err())
@@ -223,10 +285,18 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (*
 		findings := make([]formcheck.Finding, len(res.Messages))
 		parallel.ForEach(sctx, workers, len(res.Messages), func(i int) {
 			mr := &res.Messages[i]
+			sp := obs.StartChild(sctx, "check-form",
+				obs.String("fn", mr.Message.Function))
 			if mr.Message.Discarded {
+				sp.SetStatus("discarded")
+				sp.End()
 				return
 			}
 			findings[i] = formcheck.Check(mr.Message, img)
+			if findings[i].Verdict.Flawed() {
+				met.Counter("formcheck_flagged_total", "verdict", findings[i].Verdict.String()).Inc()
+			}
+			sp.End()
 		})
 		if sctx.Err() != nil {
 			return nil, fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, sctx.Err())
@@ -279,20 +349,29 @@ type candidate struct {
 // reported, not fatal: on a hostile corpus one rotten binary must not sink
 // the image. Candidates land in per-file slots and the winner is reduced in
 // file order, so the selection matches a sequential sweep exactly.
-func (p *Pipeline) pinpoint(ctx context.Context, img *image.Image) (*candidate, []errdefs.AnalysisError, error) {
+func (p *Pipeline) pinpoint(ctx context.Context, met *obs.Metrics, img *image.Image) (*candidate, []errdefs.AnalysisError, error) {
 	var files []*image.File
 	for _, f := range img.Executables() {
 		if f.IsBinary() {
 			files = append(files, f) // scripts are out of scope (§V-B)
 		}
 	}
+	met.Counter("pinpoint_candidates_total").Add(int64(len(files)))
 	type slot struct {
 		cand *candidate
 		skip *errdefs.AnalysisError
 	}
 	slots := make([]slot, len(files))
 	parallel.ForEach(ctx, p.opts.Workers, len(files), func(i int) {
-		c, skip := p.liftCandidate(files[i])
+		sp := obs.StartChild(ctx, "candidate", obs.String("path", files[i].Path))
+		c, skip := p.liftCandidate(met, files[i])
+		switch {
+		case skip != nil:
+			sp.SetStatus("skipped")
+		case c == nil:
+			sp.SetStatus("not-device-cloud")
+		}
+		sp.End()
 		slots[i] = slot{cand: c, skip: skip}
 	})
 
@@ -319,7 +398,7 @@ func (p *Pipeline) pinpoint(ctx context.Context, img *image.Image) (*candidate, 
 // liftCandidate parses, lifts, and identifies one executable with panic
 // recovery, so a pathological binary is reported as skipped instead of
 // crashing the whole analysis.
-func (p *Pipeline) liftCandidate(f *image.File) (cand *candidate, skip *errdefs.AnalysisError) {
+func (p *Pipeline) liftCandidate(met *obs.Metrics, f *image.File) (cand *candidate, skip *errdefs.AnalysisError) {
 	defer func() {
 		if r := recover(); r != nil {
 			cand = nil
@@ -343,7 +422,7 @@ func (p *Pipeline) liftCandidate(f *image.File) (cand *candidate, skip *errdefs.
 			Err: fmt.Errorf("%w: %w: %w", errdefs.ErrExecutableSkipped, errdefs.ErrCorruptBinary, err),
 		}
 	}
-	fx := facts.New(prog)
+	fx := facts.New(prog, facts.WithMetrics(met))
 	idRes := identify.Analyze(prog, identify.WithMinScore(p.opts.MinScore), identify.WithFacts(fx))
 	if !idRes.IsDeviceCloud {
 		return nil, nil

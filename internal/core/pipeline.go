@@ -20,6 +20,7 @@ import (
 	"firmres/internal/lint"
 	"firmres/internal/mft"
 	"firmres/internal/nvram"
+	"firmres/internal/obs"
 	"firmres/internal/semantics"
 	"firmres/internal/slices"
 	"firmres/internal/taint"
@@ -124,6 +125,11 @@ type Result struct {
 	// executable; populated only when Options.Lint is set.
 	Diagnostics []lint.Diagnostic
 	Timing      Timing
+	// Metrics is the snapshot of the work-derived counters and histograms
+	// one analysis collected; populated only when Options.Metrics is set.
+	// Every value derives from the work performed, never from scheduling,
+	// so the snapshot is identical at any Workers count.
+	Metrics map[string]int64
 	// Errors records the work the pipeline skipped or abandoned while
 	// degrading gracefully: skipped executables, timed-out stages,
 	// recovered panics. Empty for a clean run.
@@ -172,6 +178,16 @@ type Options struct {
 	// LintRules restricts the lint stage to the named rules; empty means
 	// every registered checker.
 	LintRules []string
+	// Obs receives the pipeline's hierarchical spans: one root span per
+	// image, a child per stage, and grandchildren for the hot inner loops
+	// (per-candidate pinpointing, per-site taint, per-message simplify /
+	// classify / build / form-check, per-function lint). Nil disables
+	// tracing at the cost of a nil check per span site. The stage spans
+	// cover exactly the intervals Result.Timing records.
+	Obs *obs.Recorder
+	// Metrics enables the work-derived counter/histogram snapshot in
+	// Result.Metrics (see there for the determinism contract).
+	Metrics bool
 }
 
 func (o Options) withDefaults() Options {

@@ -27,13 +27,47 @@ import (
 	"firmres/internal/constprop"
 	"firmres/internal/dataflow"
 	"firmres/internal/isa"
+	"firmres/internal/obs"
 	"firmres/internal/pcode"
 )
+
+// Artifact kinds, used as the metric label for store hit/miss accounting.
+const (
+	artCFG = iota
+	artDefUse
+	artConsts
+	artIdom
+	artCallGraph
+	numArtifacts
+)
+
+var artifactNames = [numArtifacts]string{"cfg", "defuse", "consts", "idom", "callgraph"}
+
+// Option configures a store.
+type Option func(*Program)
+
+// WithMetrics records store traffic into met: facts_requests_total{artifact}
+// counts every artifact access and facts_builds_total{artifact} the subset
+// that actually computed (the store's single-flight misses); hits are the
+// difference. Counters are pre-resolved here so the per-access cost is one
+// atomic add.
+func WithMetrics(met *obs.Metrics) Option {
+	return func(p *Program) {
+		for a := 0; a < numArtifacts; a++ {
+			p.reqC[a] = met.Counter("facts_requests_total", "artifact", artifactNames[a])
+			p.bldC[a] = met.Counter("facts_builds_total", "artifact", artifactNames[a])
+		}
+		p.met = met
+	}
+}
 
 // Program is the artifact store for one lifted executable. Safe for
 // concurrent use; the zero value is not valid, use New.
 type Program struct {
 	prog *pcode.Program
+
+	met        *obs.Metrics
+	reqC, bldC [numArtifacts]*obs.Counter // nil counters are no-ops
 
 	cgOnce sync.Once
 	cg     *callgraph.Graph
@@ -43,16 +77,29 @@ type Program struct {
 }
 
 // New builds an empty store for prog; artifacts are computed on first use.
-func New(prog *pcode.Program) *Program {
-	return &Program{prog: prog, funcs: make(map[uint32]*Func, len(prog.Funcs))}
+func New(prog *pcode.Program, opts ...Option) *Program {
+	p := &Program{prog: prog, funcs: make(map[uint32]*Func, len(prog.Funcs))}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
 }
 
 // Prog returns the underlying lifted program.
 func (p *Program) Prog() *pcode.Program { return p.prog }
 
+// Metrics returns the metrics registry the store records into, or nil —
+// the handle downstream consumers (identify, taint, lint) count through,
+// so one recorder covers every analysis over the executable.
+func (p *Program) Metrics() *obs.Metrics { return p.met }
+
 // CallGraph returns the program's call graph, built once.
 func (p *Program) CallGraph() *callgraph.Graph {
-	p.cgOnce.Do(func() { p.cg = callgraph.Build(p.prog) })
+	p.reqC[artCallGraph].Inc()
+	p.cgOnce.Do(func() {
+		p.bldC[artCallGraph].Inc()
+		p.cg = callgraph.Build(p.prog)
+	})
 	return p.cg
 }
 
@@ -63,7 +110,7 @@ func (p *Program) Func(fn *pcode.Function) *Func {
 	p.mu.Lock()
 	f, ok := p.funcs[fn.Addr()]
 	if !ok {
-		f = &Func{Prog: p.prog, Fn: fn}
+		f = &Func{Prog: p.prog, Fn: fn, store: p}
 		p.funcs[fn.Addr()] = f
 	}
 	p.mu.Unlock()
@@ -90,6 +137,8 @@ type Func struct {
 	Prog *pcode.Program
 	Fn   *pcode.Function
 
+	store *Program // metric counters; nil for hand-built test handles
+
 	cfgOnce sync.Once
 	graph   *cfg.Graph
 
@@ -103,27 +152,54 @@ type Func struct {
 	idom     []int
 }
 
+// count bumps the request counter for one artifact kind and returns the
+// build counter for the once-body. Both are no-ops without a store or
+// metrics registry.
+func (f *Func) count(art int) *obs.Counter {
+	if f.store == nil {
+		return nil
+	}
+	f.store.reqC[art].Inc()
+	return f.store.bldC[art]
+}
+
 // CFG returns the function's control-flow graph.
 func (f *Func) CFG() *cfg.Graph {
-	f.cfgOnce.Do(func() { f.graph = cfg.Build(f.Fn) })
+	bld := f.count(artCFG)
+	f.cfgOnce.Do(func() {
+		bld.Inc()
+		f.graph = cfg.Build(f.Fn)
+	})
 	return f.graph
 }
 
 // DefUse returns the function's reaching-definitions solution.
 func (f *Func) DefUse() *dataflow.DefUse {
-	f.duOnce.Do(func() { f.du = dataflow.New(f.Fn, f.CFG()) })
+	bld := f.count(artDefUse)
+	f.duOnce.Do(func() {
+		bld.Inc()
+		f.du = dataflow.New(f.Fn, f.CFG())
+	})
 	return f.du
 }
 
 // Consts returns the function's conditional constant-propagation solution.
 func (f *Func) Consts() *constprop.Result {
-	f.cpOnce.Do(func() { f.consts = constprop.Solve(f.Fn, f.CFG()) })
+	bld := f.count(artConsts)
+	f.cpOnce.Do(func() {
+		bld.Inc()
+		f.consts = constprop.Solve(f.Fn, f.CFG())
+	})
 	return f.consts
 }
 
 // Idom returns the function's immediate-dominator tree.
 func (f *Func) Idom() []int {
-	f.idomOnce.Do(func() { f.idom = f.CFG().Dominators() })
+	bld := f.count(artIdom)
+	f.idomOnce.Do(func() {
+		bld.Inc()
+		f.idom = f.CFG().Dominators()
+	})
 	return f.idom
 }
 

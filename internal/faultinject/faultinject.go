@@ -20,6 +20,7 @@ import (
 	"firmres/internal/binfmt"
 	"firmres/internal/image"
 	"firmres/internal/isa"
+	"firmres/internal/obs"
 )
 
 // Mode names one corruption family.
@@ -76,10 +77,29 @@ func Modes() []Mode {
 	}
 }
 
+// Option configures a corruption run.
+type Option func(*options)
+
+type options struct {
+	met *obs.Metrics
+}
+
+// WithMetrics counts each corruption attempt as
+// faultinject_trips_total{mode} in met, so robustness harnesses can
+// cross-check how many injected faults reached the pipeline.
+func WithMetrics(met *obs.Metrics) Option {
+	return func(o *options) { o.met = met }
+}
+
 // Corrupt applies one corruption mode to a packed firmware image. The
 // output depends only on (data, mode, seed). The input slice is never
 // modified.
-func Corrupt(data []byte, mode Mode, seed int64) ([]byte, error) {
+func Corrupt(data []byte, mode Mode, seed int64, opts ...Option) ([]byte, error) {
+	var o options
+	for _, f := range opts {
+		f(&o)
+	}
+	o.met.Counter("faultinject_trips_total", "mode", string(mode)).Inc()
 	rng := rand.New(rand.NewSource(seed))
 	out := append([]byte(nil), data...)
 	switch mode {

@@ -27,6 +27,7 @@ import (
 	"firmres/internal/dataflow"
 	"firmres/internal/externs"
 	"firmres/internal/facts"
+	"firmres/internal/obs"
 	"firmres/internal/pcode"
 )
 
@@ -81,16 +82,20 @@ func Analyze(prog *pcode.Program, opts ...Option) *Result {
 	if fx == nil {
 		fx = facts.New(prog)
 	}
+	var met *obs.Metrics = fx.Metrics()
 	g := fx.CallGraph()
 	res := &Result{Prog: prog}
 
 	ins := anchorSites(g, externs.IsRecv)
 	outs := anchorSites(g, externs.IsSend)
+	met.Counter("identify_anchors_total", "role", "in").Add(int64(len(ins)))
+	met.Counter("identify_anchors_total", "role", "out").Add(int64(len(outs)))
 	if len(ins) == 0 || len(outs) == 0 {
 		return res
 	}
 
 	pairs := pairAnchors(g, ins, outs)
+	met.Counter("identify_anchor_pairs_total").Add(int64(len(pairs)))
 	for _, pr := range pairs {
 		seq := handlerSequence(g, pr)
 		if seq == nil {
@@ -105,6 +110,12 @@ func Analyze(prog *pcode.Program, opts ...Option) *Result {
 		res.Handlers = append(res.Handlers, h)
 		if h.Async {
 			res.IsDeviceCloud = true
+		}
+	}
+	met.Counter("identify_handlers_total").Add(int64(len(res.Handlers)))
+	for _, h := range res.Handlers {
+		if h.Async {
+			met.Counter("identify_async_handlers_total").Inc()
 		}
 	}
 	return res

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"firmres/internal/facts"
+	"firmres/internal/obs"
 	"firmres/internal/parallel"
 	"firmres/internal/pcode"
 )
@@ -166,19 +167,28 @@ func (r *Runner) Run(prog *pcode.Program, executable string) []Diagnostic {
 // of completion order, so any worker count yields identical diagnostics.
 func (r *Runner) RunFacts(ctx context.Context, fx *facts.Program, executable string, workers int) []Diagnostic {
 	prog := fx.Prog()
+	met := fx.Metrics()
 	slots := make([][]Diagnostic, len(prog.Funcs))
 	parallel.ForEach(ctx, workers, len(prog.Funcs), func(i int) {
 		fn := prog.Funcs[i]
+		sp := obs.StartChild(ctx, "lint-fn", obs.String("fn", fn.Name()))
 		fc := &FuncContext{Func: fx.Func(fn)}
 		for _, c := range r.checkers {
-			for _, d := range c.Check(fc) {
+			found := c.Check(fc)
+			if len(found) > 0 {
+				met.Counter("lint_diags_total", "rule", c.Rule()).Add(int64(len(found)))
+			}
+			for _, d := range found {
 				d.Rule = c.Rule()
 				d.Executable = executable
 				d.Function = fn.Name()
 				slots[i] = append(slots[i], d)
 			}
 		}
+		sp.AddAttr(obs.Int("diags", len(slots[i])))
+		sp.End()
 	})
+	met.Counter("lint_functions_total").Add(int64(len(prog.Funcs)))
 	var out []Diagnostic
 	for _, s := range slots {
 		out = append(out, s...)

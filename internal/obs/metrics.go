@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named counters and histograms. Safe for
+// concurrent use; a nil *Metrics hands out nil instruments, which are
+// no-ops, so disabled runs pay only a nil check.
+//
+// Determinism contract: the pipeline only feeds metrics with work-derived
+// values (items processed, trees built, diagnostics emitted) — never with
+// wall-clock durations or schedule-dependent observations — so a snapshot
+// is byte-identical at any worker count.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Key renders a metric identity as Prometheus-style text:
+// name{k="v",k2="v2"} with labels sorted by key, or bare name without
+// labels. Labels are passed as alternating key, value pairs.
+func Key(name string, labels ...string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(p.v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe:
+// a nil registry returns a nil (no-op) counter.
+func (m *Metrics) Counter(name string, labels ...string) *Counter {
+	if m == nil {
+		return nil
+	}
+	key := Key(name, labels...)
+	m.mu.Lock()
+	c, ok := m.counters[key]
+	if !ok {
+		c = &Counter{}
+		m.counters[key] = c
+	}
+	m.mu.Unlock()
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Nil-safe, like Counter.
+func (m *Metrics) Histogram(name string, labels ...string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	key := Key(name, labels...)
+	m.mu.Lock()
+	h, ok := m.hists[key]
+	if !ok {
+		h = &Histogram{}
+		m.hists[key] = h
+	}
+	m.mu.Unlock()
+	return h
+}
+
+// Snapshot flattens the registry into key → value. Histograms expand into
+// <name>_count, <name>_sum, <name>_min, and <name>_max (labels preserved).
+// Nil-safe: a nil registry snapshots to nil.
+func (m *Metrics) Snapshot() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counters)+4*len(m.hists))
+	for key, c := range m.counters {
+		out[key] = c.v.Load()
+	}
+	for key, h := range m.hists {
+		name, labels := splitKey(key)
+		count, sum, min, max := h.stats()
+		out[name+"_count"+labels] = count
+		if count > 0 {
+			out[name+"_sum"+labels] = sum
+			out[name+"_min"+labels] = min
+			out[name+"_max"+labels] = max
+		}
+	}
+	return out
+}
+
+// splitKey separates a rendered key into its name and "{...}" label part.
+func splitKey(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// MergeSnapshots folds src into dst (allocating dst when nil) and returns
+// it — the batch aggregation primitive. Counter and histogram _count/_sum
+// components add; histogram _min/_max components combine as the running
+// minimum and maximum, so a merged snapshot reads like one histogram
+// observed every value.
+func MergeSnapshots(dst, src map[string]int64) map[string]int64 {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]int64, len(src))
+	}
+	for k, v := range src {
+		old, ok := dst[k]
+		switch {
+		case !ok:
+			dst[k] = v
+		case histComponent(k, "_min"):
+			if v < old {
+				dst[k] = v
+			}
+		case histComponent(k, "_max"):
+			if v > old {
+				dst[k] = v
+			}
+		default:
+			dst[k] = old + v
+		}
+	}
+	return dst
+}
+
+// histComponent reports whether a snapshot key is the given histogram
+// component: its name part (before any label braces) ends with the suffix.
+func histComponent(key, suffix string) bool {
+	name, _ := splitKey(key)
+	return strings.HasSuffix(name, suffix)
+}
+
+// Counter is a monotonically increasing integer. Nil-safe methods.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter. Nil-safe: zero.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram tracks the count, sum, minimum, and maximum of observed
+// integer values — all order-independent, hence deterministic at any
+// worker count. Nil-safe methods.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      int64
+	min, max int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+func (h *Histogram) stats() (count, sum, min, max int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum, h.min, h.max
+}

@@ -1,0 +1,255 @@
+// Package obs is the pipeline's observability layer: hierarchical spans,
+// named metrics, and pluggable run observers, with zero dependencies
+// beyond the standard library.
+//
+// The design follows the same discipline as internal/parallel — a tiny,
+// concurrency-safe core that the pipeline threads through every stage:
+//
+//   - Spans form a tree (one span per image, child spans per stage,
+//     grandchild spans for hot inner loops). A Recorder collects finished
+//     spans and can replay them as a human-readable tree, a Chrome
+//     trace_event JSON file (chrome://tracing / Perfetto), or to a
+//     user-supplied Observer as they happen.
+//   - Metrics are named counters and histograms whose snapshots are
+//     deterministic at any worker count: every value is derived from the
+//     work performed (which is schedule-independent), never from the
+//     schedule itself.
+//
+// Everything is nil-safe: a nil *Recorder, *Span, *Metrics, *Counter, or
+// *Histogram is a no-op, so instrumented code never branches on whether
+// observability is enabled and disabled runs pay only a nil check.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value span attribute.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: fmt.Sprintf("%d", v)} }
+
+// SpanData is the immutable record of one span, as handed to Observers and
+// exporters. Parent is 0 for root spans.
+type SpanData struct {
+	ID     int64
+	Parent int64
+	Name   string
+	Attrs  []Attr
+	Status string // "" = ok; "partial", "skipped", "timeout", "fatal: <kind>", ...
+	Start  time.Time
+	End    time.Time // zero in SpanStart notifications
+}
+
+// Duration is the span's wall-clock extent (zero before End).
+func (d SpanData) Duration() time.Duration {
+	if d.End.IsZero() {
+		return 0
+	}
+	return d.End.Sub(d.Start)
+}
+
+// Attr returns the value of the named attribute, or "".
+func (d SpanData) Attr(key string) string {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Observer is a sink notified as spans start and end. Implementations must
+// be safe for concurrent calls: the pipeline starts and ends spans from
+// many goroutines at once.
+type Observer interface {
+	SpanStart(SpanData)
+	SpanEnd(SpanData)
+}
+
+// Recorder collects the spans of one analysis run. Safe for concurrent
+// use; the zero value is not valid, use NewRecorder. A nil *Recorder is a
+// valid no-op sink.
+type Recorder struct {
+	nextID atomic.Int64
+
+	mu        sync.Mutex
+	spans     []SpanData // finished spans, completion order
+	observers []Observer
+}
+
+// NewRecorder builds an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// AddObserver attaches a sink notified on every span start and end.
+func (r *Recorder) AddObserver(o Observer) {
+	if r == nil || o == nil {
+		return
+	}
+	r.mu.Lock()
+	r.observers = append(r.observers, o)
+	r.mu.Unlock()
+}
+
+// StartSpan opens a span under parent (nil parent = root). A nil receiver
+// returns a nil span, on which every method is a no-op.
+func (r *Recorder) StartSpan(parent *Span, name string, attrs ...Attr) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{
+		rec: r,
+		data: SpanData{
+			ID:    r.nextID.Add(1),
+			Name:  name,
+			Attrs: attrs,
+			Start: time.Now(),
+		},
+	}
+	if parent != nil {
+		s.data.Parent = parent.data.ID
+	}
+	r.notifyStart(s.data)
+	return s
+}
+
+func (r *Recorder) notifyStart(d SpanData) {
+	r.mu.Lock()
+	obs := r.observers
+	r.mu.Unlock()
+	for _, o := range obs {
+		o.SpanStart(d)
+	}
+}
+
+// finish records a completed span and notifies observers.
+func (r *Recorder) finish(d SpanData) {
+	r.mu.Lock()
+	r.spans = append(r.spans, d)
+	obs := r.observers
+	r.mu.Unlock()
+	for _, o := range obs {
+		o.SpanEnd(d)
+	}
+}
+
+// Spans returns a copy of every finished span, ordered by start time (ties
+// by ID), so exports are stable regardless of completion order.
+func (r *Recorder) Spans() []SpanData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]SpanData(nil), r.spans...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Span is one live span. A span is owned by the goroutine that started it
+// until End; Child may be called concurrently from worker goroutines
+// fanning out under it (it only reads the immutable ID).
+type Span struct {
+	rec  *Recorder
+	mu   sync.Mutex
+	data SpanData
+	done atomic.Bool
+}
+
+// Child opens a sub-span. Nil-safe.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.rec.StartSpan(s, name, attrs...)
+}
+
+// SetStatus records the span's outcome ("" = ok). Nil-safe.
+func (s *Span) SetStatus(status string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.data.Status = status
+	s.mu.Unlock()
+}
+
+// AddAttr appends attributes. Nil-safe.
+func (s *Span) AddAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.data.Attrs = append(s.data.Attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End closes the span and hands it to the recorder. Safe to call more than
+// once (only the first End records). Nil-safe.
+func (s *Span) End() {
+	if s == nil || !s.done.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.Lock()
+	s.data.End = time.Now()
+	d := s.data
+	s.mu.Unlock()
+	s.rec.finish(d)
+}
+
+// Duration is the span's extent so far (final after End). Nil-safe: zero.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data.End.IsZero() {
+		return time.Since(s.data.Start)
+	}
+	return s.data.End.Sub(s.data.Start)
+}
+
+// ctxKey carries the current span through a context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sp as the current span.
+func ContextWith(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the current span, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// StartChild opens a child of the context's current span — the one-liner
+// hot inner loops use. Returns nil (a no-op span) when the context carries
+// no span.
+func StartChild(ctx context.Context, name string, attrs ...Attr) *Span {
+	return FromContext(ctx).Child(name, attrs...)
+}

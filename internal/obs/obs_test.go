@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"firmres/internal/parallel"
+)
+
+// TestSpanNestingUnderPool drives the recorder exactly the way the
+// pipeline does — one root, stage children, inner-loop grandchildren
+// fanning out on the parallel pool — and checks the recorded tree. Run
+// under -race (make check does), this is the concurrency contract.
+func TestSpanNestingUnderPool(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.StartSpan(nil, "image", String("device", "dev_t"))
+	const stages, items = 3, 16
+	for s := 0; s < stages; s++ {
+		stage := root.Child("stage", Int("idx", s))
+		ctx := ContextWith(context.Background(), stage)
+		parallel.ForEach(ctx, 8, items, func(i int) {
+			sp := StartChild(ctx, "item", Int("i", i))
+			sp.AddAttr(String("k", "v"))
+			sp.End()
+		})
+		stage.End()
+	}
+	root.SetStatus("partial")
+	root.End()
+
+	spans := rec.Spans()
+	if want := 1 + stages + stages*items; len(spans) != want {
+		t.Fatalf("recorded %d spans, want %d", len(spans), want)
+	}
+	byID := map[int64]SpanData{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	var roots, stageSpans, itemSpans int
+	for _, s := range spans {
+		if s.End.Before(s.Start) {
+			t.Errorf("span %d (%s): End before Start", s.ID, s.Name)
+		}
+		switch s.Name {
+		case "image":
+			roots++
+			if s.Parent != 0 {
+				t.Errorf("root has parent %d", s.Parent)
+			}
+			if s.Status != "partial" {
+				t.Errorf("root status = %q, want partial", s.Status)
+			}
+		case "stage":
+			stageSpans++
+			if byID[s.Parent].Name != "image" {
+				t.Errorf("stage parent = %q, want image", byID[s.Parent].Name)
+			}
+		case "item":
+			itemSpans++
+			p := byID[s.Parent]
+			if p.Name != "stage" {
+				t.Errorf("item parent = %q, want stage", p.Name)
+			}
+			if s.Start.Before(p.Start) {
+				t.Errorf("item started before its stage")
+			}
+		}
+	}
+	if roots != 1 || stageSpans != stages || itemSpans != stages*items {
+		t.Fatalf("got %d roots, %d stages, %d items", roots, stageSpans, itemSpans)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	rec := NewRecorder()
+	sp := rec.StartSpan(nil, "x")
+	sp.End()
+	sp.End()
+	if n := len(rec.Spans()); n != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", n)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var rec *Recorder
+	sp := rec.StartSpan(nil, "x", String("k", "v"))
+	if sp != nil {
+		t.Fatal("nil recorder returned a live span")
+	}
+	sp.AddAttr(Int("n", 1))
+	sp.SetStatus("oops")
+	if sp.Child("y") != nil {
+		t.Fatal("nil span returned a live child")
+	}
+	sp.End()
+	if sp.Duration() != 0 {
+		t.Fatal("nil span has nonzero duration")
+	}
+	if got := rec.Spans(); got != nil {
+		t.Fatalf("nil recorder has spans: %v", got)
+	}
+	rec.AddObserver(nil)
+
+	var m *Metrics
+	m.Counter("c", "k", "v").Add(3)
+	m.Histogram("h").Observe(7)
+	if snap := m.Snapshot(); snap != nil {
+		t.Fatalf("nil metrics snapshot: %v", snap)
+	}
+	if v := m.Counter("c").Value(); v != 0 {
+		t.Fatalf("nil counter value = %d", v)
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context carries a span")
+	}
+	if StartChild(context.Background(), "x") != nil {
+		t.Fatal("StartChild on empty context returned a live span")
+	}
+}
+
+// TestMetricsDeterministicAcrossWorkers performs the same multiset of
+// observations on 1 and 8 workers and requires identical snapshots — the
+// property Report.Metrics relies on.
+func TestMetricsDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) map[string]int64 {
+		m := NewMetrics()
+		parallel.ForEach(context.Background(), workers, 100, func(i int) {
+			m.Counter("work_total", "kind", []string{"a", "b"}[i%2]).Inc()
+			m.Histogram("size").Observe(int64(i * i % 17))
+		})
+		return m.Snapshot()
+	}
+	seq, par := run(1), run(8)
+	if len(seq) != len(par) {
+		t.Fatalf("snapshot sizes differ: %d vs %d", len(seq), len(par))
+	}
+	for k, v := range seq {
+		if par[k] != v {
+			t.Errorf("%s: -j1 %d, -j8 %d", k, v, par[k])
+		}
+	}
+	if seq[`work_total{kind="a"}`] != 50 || seq[`work_total{kind="b"}`] != 50 {
+		t.Errorf("counters wrong: %v", seq)
+	}
+	if seq["size_count"] != 100 {
+		t.Errorf("histogram count = %d, want 100", seq["size_count"])
+	}
+}
+
+func TestKeySortsLabels(t *testing.T) {
+	if got, want := Key("m", "b", "2", "a", "1"), `m{a="1",b="2"}`; got != want {
+		t.Fatalf("Key = %q, want %q", got, want)
+	}
+	if got := Key("m"); got != "m" {
+		t.Fatalf("Key no labels = %q", got)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	got := MergeSnapshots(nil, map[string]int64{"a": 1})
+	got = MergeSnapshots(got, map[string]int64{"a": 2, "b": 3})
+	if got["a"] != 3 || got["b"] != 3 {
+		t.Fatalf("merge = %v", got)
+	}
+	if MergeSnapshots(nil, nil) != nil {
+		t.Fatal("merging nothing allocated a map")
+	}
+}
+
+// TestObserverSeesAllEvents checks that an attached observer receives one
+// start and one end per span, under concurrency.
+func TestObserverSeesAllEvents(t *testing.T) {
+	var mu sync.Mutex
+	starts, ends := 0, 0
+	rec := NewRecorder()
+	rec.AddObserver(funcObserver{
+		start: func(SpanData) { mu.Lock(); starts++; mu.Unlock() },
+		end:   func(SpanData) { mu.Lock(); ends++; mu.Unlock() },
+	})
+	root := rec.StartSpan(nil, "image")
+	ctx := ContextWith(context.Background(), root)
+	parallel.ForEach(ctx, 4, 32, func(i int) {
+		StartChild(ctx, "item").End()
+	})
+	root.End()
+	if starts != 33 || ends != 33 {
+		t.Fatalf("observer saw %d starts, %d ends; want 33 each", starts, ends)
+	}
+}
+
+type funcObserver struct{ start, end func(SpanData) }
+
+func (f funcObserver) SpanStart(d SpanData) { f.start(d) }
+func (f funcObserver) SpanEnd(d SpanData)   { f.end(d) }
+
+func TestProgressOutput(t *testing.T) {
+	var buf strings.Builder
+	rec := NewRecorder()
+	rec.AddObserver(NewProgress(&buf, 2))
+	for _, dev := range []string{"dev_a", "dev_b"} {
+		img := rec.StartSpan(nil, "image", String("device", dev))
+		img.Child("pinpoint-executables").End()
+		img.End()
+	}
+	out := buf.String()
+	for _, want := range []string{"progress: 1/2 images (50%)", "dev_a done in", "progress: 2/2 images (100%)", "dev_b done in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress renders batch-run progress from span events: images done/total,
+// each worker's current image and stage, per-image wall-clock, and an ETA
+// extrapolated from the completed images. It is an Observer — attach it to
+// the run's Recorder and it needs no other wiring.
+//
+// One line is written per completed image (plain lines, not cursor
+// rewrites, so logs captured in CI stay readable).
+type Progress struct {
+	w     io.Writer
+	total int
+	start time.Time
+
+	mu     sync.Mutex
+	done   int
+	active map[int64]*activeImage // image span ID → state
+}
+
+type activeImage struct {
+	device string
+	stage  string
+	start  time.Time
+}
+
+// NewProgress builds a progress reporter for a run of total images.
+func NewProgress(w io.Writer, total int) *Progress {
+	return &Progress{
+		w:      w,
+		total:  total,
+		start:  time.Now(),
+		active: map[int64]*activeImage{},
+	}
+}
+
+// SpanStart tracks image spans and their current stage.
+func (p *Progress) SpanStart(d SpanData) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d.Parent == 0 && d.Name == "image" {
+		dev := d.Attr("device")
+		if dev == "" {
+			dev = fmt.Sprintf("image#%d", d.ID)
+		}
+		p.active[d.ID] = &activeImage{device: dev, start: d.Start}
+		return
+	}
+	if img, ok := p.active[d.Parent]; ok {
+		img.stage = d.Name
+	}
+}
+
+// SpanEnd emits a progress line when an image completes.
+func (p *Progress) SpanEnd(d SpanData) {
+	p.mu.Lock()
+	img, ok := p.active[d.ID]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	delete(p.active, d.ID)
+	p.done++
+	line := p.lineLocked(img, d)
+	p.mu.Unlock()
+	io.WriteString(p.w, line)
+}
+
+// lineLocked renders one completion line; p.mu must be held.
+func (p *Progress) lineLocked(img *activeImage, d SpanData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "progress: %d/%d images", p.done, p.total)
+	if p.total > 0 {
+		fmt.Fprintf(&b, " (%d%%)", p.done*100/p.total)
+	}
+	fmt.Fprintf(&b, "  %s done in %v", img.device, d.Duration().Round(time.Millisecond))
+	if d.Status != "" {
+		fmt.Fprintf(&b, " [%s]", d.Status)
+	}
+	if p.done > 0 && p.done < p.total {
+		elapsed := time.Since(p.start)
+		eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		fmt.Fprintf(&b, "  eta %v", eta.Round(100*time.Millisecond))
+	}
+	if len(p.active) > 0 {
+		var cur []string
+		for _, a := range p.active {
+			stage := a.stage
+			if stage == "" {
+				stage = "starting"
+			}
+			cur = append(cur, a.device+":"+stage)
+		}
+		sort.Strings(cur)
+		fmt.Fprintf(&b, "  [active %s]", strings.Join(cur, " "))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -29,7 +29,11 @@ func Workers(n, items int) int {
 }
 
 // ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
-// (Workers-clamped). It blocks until every claimed index finishes.
+// (Workers-clamped). It blocks until every claimed index finishes and
+// returns the number of indices that ran — n on a clean pass, fewer when
+// cancellation stopped the pool from claiming the rest. The count feeds
+// the observability layer's abandoned-work metrics; callers that predate
+// it simply ignore the return value.
 //
 // Cancellation is cooperative: once ctx is done, no new index is claimed,
 // so callers must treat unclaimed result slots as absent (the sequential
@@ -39,23 +43,24 @@ func Workers(n, items int) int {
 // on the calling goroutine with the original panic value, so a stage body
 // running under core's runStage degrades exactly as a sequential panic
 // would. Only the first panic is kept.
-func ForEach(ctx context.Context, workers, n int, fn func(int)) {
+func ForEach(ctx context.Context, workers, n int, fn func(int)) int {
 	if n <= 0 {
-		return
+		return 0
 	}
 	w := Workers(workers, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			if ctx != nil && ctx.Err() != nil {
-				return
+				return i
 			}
 			fn(i)
 		}
-		return
+		return n
 	}
 
 	var (
 		next     atomic.Int64
+		ran      atomic.Int64
 		stopped  atomic.Bool
 		panicVal any
 		panicMu  sync.Mutex
@@ -84,6 +89,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(int)) {
 					return
 				}
 				fn(i)
+				ran.Add(1)
 			}
 		}()
 	}
@@ -91,4 +97,5 @@ func ForEach(ctx context.Context, workers, n int, fn func(int)) {
 	if panicVal != nil {
 		panic(panicVal)
 	}
+	return int(ran.Load())
 }

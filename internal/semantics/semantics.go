@@ -19,6 +19,7 @@ import (
 	"firmres/internal/cfg"
 	"firmres/internal/dataflow"
 	"firmres/internal/nn"
+	"firmres/internal/obs"
 	"firmres/internal/pcode"
 	"firmres/internal/slices"
 	"firmres/internal/taint"
@@ -299,6 +300,28 @@ func (p *enricherPool) tokens(s slices.Slice) []string {
 // forward state per call.
 type Classifier interface {
 	Classify(s slices.Slice) (label string, confidence float64)
+}
+
+// Observed wraps a classifier so every Classify call bumps
+// semantics_classified_total{label} in met. Classification itself is
+// untouched; with a nil registry the wrapper is elided entirely, keeping
+// un-instrumented runs on the original code path.
+func Observed(c Classifier, met *obs.Metrics) Classifier {
+	if met == nil {
+		return c
+	}
+	return observed{c: c, met: met}
+}
+
+type observed struct {
+	c   Classifier
+	met *obs.Metrics
+}
+
+func (o observed) Classify(s slices.Slice) (string, float64) {
+	label, conf := o.c.Classify(s)
+	o.met.Counter("semantics_classified_total", "label", label).Inc()
+	return label, conf
 }
 
 // KeywordClassifier is the dictionary heuristic of §V-C ("we define a

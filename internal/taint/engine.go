@@ -10,6 +10,7 @@ import (
 	"firmres/internal/dataflow"
 	"firmres/internal/facts"
 	"firmres/internal/isa"
+	"firmres/internal/obs"
 	"firmres/internal/parallel"
 	"firmres/internal/pcode"
 )
@@ -44,6 +45,12 @@ type Engine struct {
 	prog *pcode.Program
 	fx   *facts.Program
 	opts Options
+
+	// Pre-resolved metric instruments (no-ops when the facts store carries
+	// no registry), so the hot tracing path pays one atomic op, not a map
+	// lookup.
+	sitesC, mftsC, stepsC, exhaustedC *obs.Counter
+	stepsH, frontierH                 *obs.Histogram
 }
 
 // NewEngine prepares an engine for prog with a private facts store.
@@ -55,7 +62,16 @@ func NewEngine(prog *pcode.Program, opts Options) *Engine {
 // store, sharing every per-function artifact already computed for fx's
 // program.
 func NewEngineFacts(fx *facts.Program, opts Options) *Engine {
-	return &Engine{prog: fx.Prog(), fx: fx, opts: opts.withDefaults()}
+	met := fx.Metrics()
+	return &Engine{
+		prog: fx.Prog(), fx: fx, opts: opts.withDefaults(),
+		sitesC:     met.Counter("taint_delivery_sites_total"),
+		mftsC:      met.Counter("taint_mfts_total"),
+		stepsC:     met.Counter("taint_trace_steps_total"),
+		exhaustedC: met.Counter("taint_budget_exhausted_total"),
+		stepsH:     met.Histogram("taint_steps_per_mft"),
+		frontierH:  met.Histogram("taint_frontier_per_mft"),
+	}
 }
 
 // du returns the shared def-use solution for fn.
@@ -102,9 +118,15 @@ func (e *Engine) AnalyzeContext(ctx context.Context, workers int) []*MFT {
 			sites = append(sites, site{cs: cs, name: op.Call.Name, args: args})
 		}
 	}
+	e.sitesC.Add(int64(len(sites)))
 	slots := make([][]*MFT, len(sites))
 	parallel.ForEach(ctx, workers, len(sites), func(i int) {
+		sp := obs.StartChild(ctx, "taint-site",
+			obs.String("deliver", sites[i].name), obs.String("fn", sites[i].cs.Fn.Name()))
 		slots[i] = e.traceDelivery(sites[i].cs, sites[i].name, sites[i].args)
+		sp.AddAttr(obs.Int("mfts", len(slots[i])))
+		sp.End()
+		e.mftsC.Add(int64(len(slots[i])))
 	})
 	var out []*MFT
 	for _, s := range slots {
@@ -145,6 +167,15 @@ func (e *Engine) buildMFT(cs pcode.CallSite, deliver string, args []deliveryArgS
 		visited: make(map[traceKey]bool),
 		budget:  e.opts.MaxNodes,
 	}
+	defer func() {
+		spent := int64(e.opts.MaxNodes - st.budget)
+		e.stepsC.Add(spent)
+		e.stepsH.Observe(spent)
+		e.frontierH.Observe(int64(st.maxVisited))
+		if st.budget <= 0 {
+			e.exhaustedC.Inc()
+		}
+	}()
 	root := &Node{Kind: NodeRoot, Fn: cs.Fn, OpIdx: cs.OpIdx, Callee: deliver}
 	// Children in reverse-concatenation order: the tree records the backward
 	// walk; mft.Invert recovers message order (paper Fig. 5).
@@ -185,8 +216,9 @@ type traceKey struct {
 }
 
 type traceState struct {
-	visited map[traceKey]bool
-	budget  int
+	visited    map[traceKey]bool
+	budget     int
+	maxVisited int // high-water mark of the visited frontier
 }
 
 func (st *traceState) spend() bool {
@@ -211,6 +243,9 @@ func (e *Engine) trace(st *traceState, fn *pcode.Function, useIdx int, v pcode.V
 		return nil
 	}
 	st.visited[key] = true
+	if len(st.visited) > st.maxVisited {
+		st.maxVisited = len(st.visited)
+	}
 	defer delete(st.visited, key)
 
 	du := e.du(fn)

@@ -1,0 +1,165 @@
+package firmres
+
+// Run observability: hierarchical traces, live span observers, progress
+// reporting, and metric snapshots. All of it is opt-in — an analysis
+// without these options runs the exact same code paths and produces
+// byte-identical reports.
+
+import (
+	"io"
+	"time"
+
+	"firmres/internal/obs"
+)
+
+// SpanEvent is one span notification delivered to an Observer. Parent is 0
+// for the per-image root spans; End is zero in SpanStart notifications.
+type SpanEvent struct {
+	ID     int64
+	Parent int64
+	Name   string // "image", stage name, or inner-loop name
+	Status string // "" = ok; "partial", "timeout", "skipped", ...
+	Start  time.Time
+	End    time.Time
+	Attrs  map[string]string // device, path, fn, ... (nil when none)
+}
+
+// Duration is the span's wall-clock extent (zero before End).
+func (e SpanEvent) Duration() time.Duration {
+	if e.End.IsZero() {
+		return 0
+	}
+	return e.End.Sub(e.Start)
+}
+
+// Observer is a sink notified as analysis spans start and end — the hook
+// for custom dashboards or log streams. Implementations must be safe for
+// concurrent calls: spans start and end on many goroutines at once.
+type Observer interface {
+	SpanStart(SpanEvent)
+	SpanEnd(SpanEvent)
+}
+
+// Trace collects the hierarchical spans of an analysis run: one root span
+// per image, a child span per pipeline stage, and grandchildren for the hot
+// inner loops (per-candidate pinpointing, per-site taint, per-message
+// classification, per-function lint). Pass it with WithTrace, run the
+// analysis, then export.
+//
+// A Trace may span several Analyze calls (their images all land in the same
+// recorder), but attach WithObserver / WithProgress sinks on only one of
+// them — each call adds its sinks to the shared recorder.
+type Trace struct {
+	rec *obs.Recorder
+}
+
+// NewTrace builds an empty trace recorder.
+func NewTrace() *Trace { return &Trace{rec: obs.NewRecorder()} }
+
+// WriteTree renders the recorded spans as an indented human-readable tree
+// with durations, attributes, and statuses.
+func (t *Trace) WriteTree(w io.Writer) error {
+	return obs.WriteTree(w, t.rec.Spans())
+}
+
+// WriteChromeTrace renders the recorded spans in Chrome trace_event JSON,
+// loadable in chrome://tracing and https://ui.perfetto.dev.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, t.rec.Spans())
+}
+
+// WithTrace records the analysis's span tree into t.
+func WithTrace(t *Trace) Option {
+	return func(c *config) {
+		if t != nil {
+			c.trace = t
+		}
+	}
+}
+
+// WithObserver streams span start/end events to o as the analysis runs.
+func WithObserver(o Observer) Option {
+	return func(c *config) {
+		if o != nil {
+			c.observers = append(c.observers, o)
+		}
+	}
+}
+
+// WithProgress prints a one-line progress update to w each time an image
+// finishes: count, percentage, per-image duration, ETA, and the stages the
+// in-flight images are in. Meant for batch runs on a terminal's stderr.
+func WithProgress(w io.Writer) Option {
+	return func(c *config) {
+		if w != nil {
+			c.progressW = w
+		}
+	}
+}
+
+// WithMetrics collects work-derived counters and histograms during the
+// analysis and snapshots them into Report.Metrics: facts-store hits and
+// misses per artifact, taint steps and frontier sizes, MFTs built, fields
+// per semantic label, lint findings per rule, degraded stages by error
+// kind. Every value derives from the work performed — never from timing or
+// scheduling — so snapshots are identical at any WithWorkers count.
+func WithMetrics() Option {
+	return func(c *config) { c.opts.Metrics = true }
+}
+
+// WriteMetrics renders a metrics snapshot (Report.Metrics or
+// BatchReport.Summary.Metrics) in Prometheus text exposition format, keys
+// sorted, each prefixed "firmres_".
+func WriteMetrics(w io.Writer, snapshot map[string]int64) error {
+	return obs.WritePrometheus(w, snapshot)
+}
+
+// MergeMetrics folds snapshot src into dst (allocating dst when nil) and
+// returns it: counters and histogram _count/_sum components add, histogram
+// _min/_max components combine as the running extremes. Use it to
+// aggregate Report.Metrics across separate Analyze calls; batch runs get
+// the same aggregation in BatchReport.Summary.Metrics.
+func MergeMetrics(dst, src map[string]int64) map[string]int64 {
+	return obs.MergeSnapshots(dst, src)
+}
+
+// observerAdapter bridges the public Observer to the internal span sink.
+type observerAdapter struct {
+	o Observer
+}
+
+func eventOf(d obs.SpanData) SpanEvent {
+	ev := SpanEvent{
+		ID: d.ID, Parent: d.Parent, Name: d.Name,
+		Status: d.Status, Start: d.Start, End: d.End,
+	}
+	if len(d.Attrs) > 0 {
+		ev.Attrs = make(map[string]string, len(d.Attrs))
+		for _, a := range d.Attrs {
+			ev.Attrs[a.Key] = a.Value
+		}
+	}
+	return ev
+}
+
+func (a observerAdapter) SpanStart(d obs.SpanData) { a.o.SpanStart(eventOf(d)) }
+func (a observerAdapter) SpanEnd(d obs.SpanData)   { a.o.SpanEnd(eventOf(d)) }
+
+// observe assembles the span recorder for one Analyze call from the
+// configured sinks. totalImages sizes the progress reporter's ETA.
+func (c *config) observe(totalImages int) {
+	if c.trace == nil && len(c.observers) == 0 && c.progressW == nil {
+		return
+	}
+	rec := obs.NewRecorder()
+	if c.trace != nil {
+		rec = c.trace.rec
+	}
+	for _, o := range c.observers {
+		rec.AddObserver(observerAdapter{o: o})
+	}
+	if c.progressW != nil {
+		rec.AddObserver(obs.NewProgress(c.progressW, totalImages))
+	}
+	c.opts.Obs = rec
+}

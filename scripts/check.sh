@@ -29,6 +29,9 @@ go test -race ./...
 echo "== lint corpus precision (seeded positives, zero false positives)"
 go test -run 'TestCorpusSeededFindings|TestCorpusNegativesClean' ./internal/lint
 
+echo "== observability (traced goldens byte-identical, metrics deterministic)"
+go test -run 'TestGoldenReportsTraced|TestTraceSpansCoverEveryStage|TestBatchMetricsDeterministicAcrossWorkers' .
+
 echo "== fuzz image.Unpack (${FUZZTIME})"
 go test -fuzz=FuzzUnpack -fuzztime="${FUZZTIME}" -run='^$' ./internal/image
 
