@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test check fuzz vet bench
+.PHONY: build test check fuzz vet bench cover
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,11 @@ vet:
 
 check:
 	FUZZTIME=$(FUZZTIME) scripts/check.sh
+
+# cover runs the suite in atomic coverage mode and prints the total; CI
+# additionally enforces the floor in scripts/coverage_floor.txt.
+cover:
+	scripts/cover.sh
 
 fuzz:
 	$(GO) test -fuzz=FuzzUnpack -fuzztime=$(FUZZTIME) -run='^$$' ./internal/image

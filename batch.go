@@ -14,9 +14,7 @@ import (
 	"sort"
 	"time"
 
-	"firmres/internal/core"
 	"firmres/internal/errdefs"
-	"firmres/internal/image"
 	"firmres/internal/obs"
 	"firmres/internal/parallel"
 )
@@ -57,6 +55,9 @@ type BatchSummary struct {
 	// Metrics merges every report's WithMetrics snapshot (counters and
 	// histogram components sum per key). Nil without WithMetrics.
 	Metrics map[string]int64 `json:",omitempty"`
+	// Cache counts the batch's persistent-cache activity (hits, misses,
+	// evictions, corrupt entries discarded). Nil without WithCache.
+	Cache *CacheStats `json:",omitempty"`
 }
 
 // BatchReport is the outcome of one corpus batch: per-image results in
@@ -72,32 +73,32 @@ type BatchReport struct {
 // stop the batch; the error return is reserved for an expired or cancelled
 // ctx (wrapping ErrStageTimeout and the context error).
 func AnalyzeImages(ctx context.Context, imgs [][]byte, opts ...Option) (*BatchReport, error) {
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := newConfig(opts)
 	cfg.observe(len(imgs))
+	rn, err := cfg.runner()
+	if err != nil {
+		return nil, err
+	}
 	results := make([]ImageResult, len(imgs))
-	pl := core.New(cfg.opts)
 	parallel.ForEach(ctx, cfg.workers, len(imgs), func(i int) {
-		results[i] = analyzeBatchImage(ctx, pl, fmt.Sprintf("image[%d]", i), imgs[i])
+		results[i] = analyzeBatchImage(ctx, rn, fmt.Sprintf("image[%d]", i), imgs[i])
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("firmres: %w: %w", errdefs.ErrStageTimeout, err)
 	}
-	return batchReport(results), nil
+	return batchReport(results, rn.finish()), nil
 }
 
 // AnalyzePaths analyzes firmware image files on disk as one batch, with the
 // same contract as AnalyzeImages; unreadable files fail per-image.
 func AnalyzePaths(ctx context.Context, paths []string, opts ...Option) (*BatchReport, error) {
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := newConfig(opts)
 	cfg.observe(len(paths))
+	rn, err := cfg.runner()
+	if err != nil {
+		return nil, err
+	}
 	results := make([]ImageResult, len(paths))
-	pl := core.New(cfg.opts)
 	parallel.ForEach(ctx, cfg.workers, len(paths), func(i int) {
 		data, err := os.ReadFile(paths[i])
 		if err != nil {
@@ -107,12 +108,12 @@ func AnalyzePaths(ctx context.Context, paths []string, opts ...Option) (*BatchRe
 			}
 			return
 		}
-		results[i] = analyzeBatchImage(ctx, pl, paths[i], data)
+		results[i] = analyzeBatchImage(ctx, rn, paths[i], data)
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("firmres: %w: %w", errdefs.ErrStageTimeout, err)
 	}
-	return batchReport(results), nil
+	return batchReport(results, rn.finish()), nil
 }
 
 // AnalyzeDir analyzes every regular file directly under dir (sorted by
@@ -133,30 +134,26 @@ func AnalyzeDir(ctx context.Context, dir string, opts ...Option) (*BatchReport, 
 	return AnalyzePaths(ctx, paths, opts...)
 }
 
-// analyzeBatchImage runs the shared pipeline over one packed image,
-// folding fatal failures into the result slot.
-func analyzeBatchImage(ctx context.Context, pl *core.Pipeline, path string, data []byte) ImageResult {
+// analyzeBatchImage runs the shared runner over one packed image — through
+// the persistent cache when enabled — folding fatal failures into the
+// result slot.
+func analyzeBatchImage(ctx context.Context, rn *runner, path string, data []byte) ImageResult {
 	out := ImageResult{Path: path}
-	img, err := image.Unpack(data)
-	if err != nil {
-		err = fmt.Errorf("firmres: %w: %w", errdefs.ErrCorruptImage, err)
-		out.Kind, out.Error, out.Err = errdefs.Kind(err), err.Error(), err
-		return out
-	}
-	res, err := pl.AnalyzeImageContext(ctx, img)
+	rep, err := rn.analyzeData(ctx, data)
 	if err != nil {
 		out.Kind, out.Error, out.Err = errdefs.Kind(err), err.Error(), err
 		return out
 	}
-	out.Report = reportOf(res)
+	out.Report = rep
 	return out
 }
 
 // batchReport assembles the aggregate summary over ordered results.
-func batchReport(results []ImageResult) *BatchReport {
+func batchReport(results []ImageResult, cacheStats *CacheStats) *BatchReport {
 	br := &BatchReport{Images: results}
 	s := &br.Summary
 	s.Images = len(results)
+	s.Cache = cacheStats
 	for i := range results {
 		r := results[i].Report
 		if r == nil {

@@ -1,0 +1,201 @@
+package firmres
+
+// Persistent analysis caching: FIRMRES-style corpus runs re-scan the same
+// firmware over and over (new checkers, re-crawls, CI), and a full analysis
+// is pure — the report depends only on the image bytes and the options. So
+// a content-addressed on-disk cache turns every warm re-run into a disk
+// read. The key is SHA-256(image) ⊕ core.Options.Fingerprint() (which
+// embeds the pipeline version stamp and excludes worker count — reports are
+// worker-count-invariant); the value is the serialized Report. Failures are
+// never cached, corrupt entries degrade to misses, and concurrent workers
+// single-flight so one image is never computed twice in a run.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"firmres/internal/cache"
+	"firmres/internal/core"
+	"firmres/internal/errdefs"
+	"firmres/internal/image"
+	"firmres/internal/obs"
+)
+
+// CacheStats counts one run's persistent-cache activity. Batch runs report
+// it in BatchSummary.Cache; accumulate across separate Analyze calls with
+// WithCacheStats.
+type CacheStats struct {
+	Hits      int64 // reports served from disk or a shared in-flight compute
+	Misses    int64 // reports that had to be computed
+	Evictions int64 // entries evicted by the size cap
+	Errors    int64 // corrupt entries discarded (each also counts as a miss)
+}
+
+func (s *CacheStats) add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Errors += o.Errors
+}
+
+// Snapshot renders the stats as a metrics snapshot (Prometheus-style keys),
+// mergeable into Report.Metrics aggregates with MergeMetrics and writable
+// with WriteMetrics.
+func (s CacheStats) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"cache_hits_total":      s.Hits,
+		"cache_misses_total":    s.Misses,
+		"cache_evictions_total": s.Evictions,
+		"cache_errors_total":    s.Errors,
+	}
+}
+
+// WithCache serves analyses from a persistent content-addressed result
+// cache rooted at dir (created if missing) and stores every freshly
+// computed report back into it. Cached and fresh reports are
+// byte-identical; any change to the analysis options or to the pipeline
+// version forces a recompute, and a corrupt entry is discarded and
+// recomputed, never trusted. Fatal failures (corrupt image, no device-cloud
+// executable) are not cached.
+func WithCache(dir string) Option {
+	return func(c *config) { c.cacheDir = dir }
+}
+
+// WithCacheMaxBytes caps the cache directory's total size; once a stored
+// report pushes it past n bytes, least-recently-used entries are evicted.
+// n <= 0 (the default) means unbounded. Only meaningful with WithCache.
+func WithCacheMaxBytes(n int64) Option {
+	return func(c *config) { c.cacheMaxBytes = n }
+}
+
+// WithCacheStats accumulates the run's cache counters into st (added to,
+// not overwritten, so one accumulator can span several Analyze calls).
+func WithCacheStats(st *CacheStats) Option {
+	return func(c *config) { c.cacheStats = st }
+}
+
+// ClearCache removes every cache entry under dir. Other files in the
+// directory are left alone.
+func ClearCache(dir string) error {
+	cc, err := cache.Open(dir)
+	if err != nil {
+		return fmt.Errorf("firmres: %w", err)
+	}
+	return cc.Clear()
+}
+
+// runner is the per-Analyze-call execution state: the configured pipeline
+// plus, with WithCache, the cache handle and the options fingerprint half
+// of the key. Batch calls share one runner across all images, so its
+// single-flight spans the whole batch.
+type runner struct {
+	cfg   *config
+	pl    *core.Pipeline
+	cache *cache.Cache // nil when caching is disabled
+	fp    string       // options fingerprint (with cache only)
+}
+
+func (c *config) runner() (*runner, error) {
+	r := &runner{cfg: c, pl: core.New(c.opts)}
+	if c.cacheDir != "" {
+		cc, err := cache.Open(c.cacheDir, cache.WithMaxBytes(c.cacheMaxBytes))
+		if err != nil {
+			return nil, fmt.Errorf("firmres: %w", err)
+		}
+		r.cache = cc
+		r.fp = c.opts.Fingerprint()
+	}
+	return r, nil
+}
+
+// analyzeData analyzes one packed image, through the cache when enabled.
+func (r *runner) analyzeData(ctx context.Context, data []byte) (*Report, error) {
+	if r.cache == nil {
+		return r.analyzeFresh(ctx, data)
+	}
+	key := cache.KeyOf(data, r.fp)
+	sp := r.cfg.opts.Obs.StartSpan(nil, "cache", obs.String("key", key[:16]))
+	defer sp.End()
+	// Single-flight get-or-compute: concurrent batch workers handed the
+	// same image bytes block here and share one computation. The computing
+	// caller keeps its in-memory report (no round trip); everyone else
+	// decodes the serialized bytes — tests pin both renderings identical.
+	var fresh *Report
+	val, hit, err := r.cache.Do(key, func() ([]byte, error) {
+		rep, err := r.analyzeFresh(ctx, data)
+		if err != nil {
+			return nil, err
+		}
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			return nil, fmt.Errorf("firmres: cache encode: %w", err)
+		}
+		fresh = rep
+		return buf, nil
+	})
+	if err != nil {
+		sp.SetStatus("fatal: " + errdefs.Kind(err))
+		return nil, err
+	}
+	if !hit {
+		sp.SetStatus("miss")
+		return fresh, nil
+	}
+	sp.SetStatus("hit")
+	return decodeReport(val)
+}
+
+// analyzeFresh is the uncached path: unpack and run the full pipeline.
+func (r *runner) analyzeFresh(ctx context.Context, data []byte) (*Report, error) {
+	img, err := image.Unpack(data)
+	if err != nil {
+		return nil, fmt.Errorf("firmres: %w: %w", errdefs.ErrCorruptImage, err)
+	}
+	res, err := r.pl.AnalyzeImageContext(ctx, img)
+	if err != nil {
+		return nil, err
+	}
+	return reportOf(res), nil
+}
+
+// finish folds the run's cache counters into the WithCacheStats accumulator
+// and returns them (nil when caching was disabled).
+func (r *runner) finish() *CacheStats {
+	if r.cache == nil {
+		return nil
+	}
+	s := r.cache.Stats()
+	cs := CacheStats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Errors: s.Errors}
+	if r.cfg.cacheStats != nil {
+		r.cfg.cacheStats.add(cs)
+	}
+	return &cs
+}
+
+// cachedErr rehydrates a deserialized AnalysisError's cause: it renders the
+// persisted detail and unwraps to the taxonomy sentinel the persisted kind
+// names, so errors.Is dispatch works on cached reports too.
+type cachedErr struct {
+	sentinel error
+	detail   string
+}
+
+func (e cachedErr) Error() string { return e.detail }
+func (e cachedErr) Unwrap() error { return e.sentinel }
+
+// decodeReport deserializes a cached report and rehydrates the error causes
+// JSON cannot carry.
+func decodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("firmres: cache decode: %w", err)
+	}
+	for i := range r.Errors {
+		e := &r.Errors[i]
+		if e.Err == nil {
+			e.Err = cachedErr{sentinel: errdefs.Sentinel(e.Kind), detail: e.Detail}
+		}
+	}
+	return &r, nil
+}

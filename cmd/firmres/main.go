@@ -7,12 +7,22 @@
 //	firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N]
 //	        [-lint] [-lint-rules r1,r2] [-lint-json] [-timings]
 //	        [-trace] [-trace-json file] [-metrics file] [-progress]
+//	        [-cache dir] [-cache-max-bytes n] [-no-cache] [-cache-clear]
 //	        [-pprof addr] image.img [image2.img ...]
 //
 // With -j N (N != 1) the images are analyzed as one batch on up to N
 // concurrent workers (N <= 0 means GOMAXPROCS) and the reports print in
 // input order; -j 1 (the default) analyzes sequentially. Output is
 // identical either way.
+//
+// Caching: -cache DIR serves every analysis from a persistent
+// content-addressed result cache (and stores fresh results back), keyed on
+// the image bytes, the effective analysis options, and the pipeline
+// version — warm re-runs of a corpus become disk reads. -cache-max-bytes
+// caps the directory size (LRU eviction), -cache-clear empties it before
+// the run (with no images, it just clears and exits), and -no-cache
+// disables caching even when -cache is given. Cached output is
+// byte-identical to a fresh analysis.
 //
 // Observability: -trace prints the hierarchical span tree of the run to
 // stderr; -trace-json writes the same spans as Chrome trace_event JSON
@@ -64,7 +74,15 @@ type options struct {
 	metricsPath  string
 	progress     bool
 	pprofAddr    string
+	cacheDir     string
+	cacheMax     int64
+	noCache      bool
+	cacheClear   bool
 }
+
+// cacheEnabled reports whether analyses should go through the persistent
+// result cache.
+func (o options) cacheEnabled() bool { return o.cacheDir != "" && !o.noCache }
 
 // main delegates to run so the observability sinks' deferred writes happen
 // before the process exits (os.Exit skips defers).
@@ -98,11 +116,32 @@ func run() int {
 		"report per-image progress on stderr")
 	flag.StringVar(&opts.pprofAddr, "pprof", "",
 		"serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+	flag.StringVar(&opts.cacheDir, "cache", "",
+		"serve analyses from a persistent result cache rooted at this directory (created if missing)")
+	flag.Int64Var(&opts.cacheMax, "cache-max-bytes", 0,
+		"cap the cache directory size; least-recently-used entries are evicted (0 = unbounded)")
+	flag.BoolVar(&opts.noCache, "no-cache", false,
+		"disable the result cache even when -cache is given")
+	flag.BoolVar(&opts.cacheClear, "cache-clear", false,
+		"clear the -cache directory before the run (with no images: clear and exit)")
 	keepGoing := flag.Bool("keep-going", false,
 		"keep analyzing remaining images after a fatal per-image failure")
 	flag.Parse()
+	if opts.cacheClear {
+		if opts.cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "firmres: -cache-clear requires -cache DIR")
+			return exitUsage
+		}
+		if err := firmres.ClearCache(opts.cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "firmres: cache-clear: %v\n", err)
+			return exitFatal
+		}
+		if flag.NArg() == 0 {
+			return exitOK
+		}
+	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N] [-lint] [-lint-rules r1,r2] [-lint-json] [-timings] [-trace] [-trace-json file] [-metrics file] [-progress] [-pprof addr] image.img ...")
+		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N] [-lint] [-lint-rules r1,r2] [-lint-json] [-timings] [-trace] [-trace-json file] [-metrics file] [-progress] [-cache dir] [-cache-max-bytes n] [-no-cache] [-cache-clear] [-pprof addr] image.img ...")
 		return exitUsage
 	}
 	if opts.pprofAddr != "" {
@@ -150,9 +189,10 @@ func servePprof(addr string) {
 // merged metrics snapshot across every analyzed image — and writes them
 // when the run finishes.
 type obsSink struct {
-	opts    options
-	trace   *firmres.Trace
-	metrics map[string]int64
+	opts       options
+	trace      *firmres.Trace
+	metrics    map[string]int64
+	cacheStats firmres.CacheStats // accumulated across every Analyze call
 }
 
 func newObsSink(opts options) *obsSink {
@@ -181,6 +221,9 @@ func (s *obsSink) options(batch bool) []firmres.Option {
 	if batch && s.opts.progress {
 		out = append(out, firmres.WithProgress(os.Stderr))
 	}
+	if s.opts.cacheEnabled() {
+		out = append(out, firmres.WithCacheStats(&s.cacheStats))
+	}
 	return out
 }
 
@@ -206,6 +249,9 @@ func (s *obsSink) finish() {
 		}
 	}
 	if s.opts.metricsPath != "" {
+		if s.opts.cacheEnabled() {
+			s.metrics = firmres.MergeMetrics(s.metrics, s.cacheStats.Snapshot())
+		}
 		write := func(w io.Writer) error { return firmres.WriteMetrics(w, s.metrics) }
 		if err := writeFile(s.opts.metricsPath, write); err != nil {
 			fmt.Fprintf(os.Stderr, "firmres: metrics: %v\n", err)
@@ -292,6 +338,12 @@ func apiOptions(opts options) []firmres.Option {
 		apiOpts = append(apiOpts, firmres.WithLintRules(rules...))
 	} else if opts.lint || opts.lintJSON {
 		apiOpts = append(apiOpts, firmres.WithLint())
+	}
+	if opts.cacheEnabled() {
+		apiOpts = append(apiOpts, firmres.WithCache(opts.cacheDir))
+		if opts.cacheMax > 0 {
+			apiOpts = append(apiOpts, firmres.WithCacheMaxBytes(opts.cacheMax))
+		}
 	}
 	return apiOpts
 }

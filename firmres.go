@@ -30,7 +30,6 @@ import (
 
 	"firmres/internal/core"
 	"firmres/internal/errdefs"
-	"firmres/internal/image"
 	"firmres/internal/lint"
 	"firmres/internal/nn"
 	"firmres/internal/semantics"
@@ -172,11 +171,22 @@ var (
 type Option func(*config)
 
 type config struct {
-	opts      core.Options
-	workers   int
-	trace     *Trace
-	observers []Observer
-	progressW io.Writer
+	opts          core.Options
+	workers       int
+	trace         *Trace
+	observers     []Observer
+	progressW     io.Writer
+	cacheDir      string
+	cacheMaxBytes int64
+	cacheStats    *CacheStats
+}
+
+func newConfig(opts []Option) *config {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &cfg
 }
 
 // WithKeywordClassifier selects the dictionary-based semantics classifier
@@ -279,12 +289,19 @@ func AnalyzeImage(data []byte, opts ...Option) (*Report, error) {
 // conditions — a structurally corrupt image (wrapping ErrCorruptImage), an
 // expired or cancelled ctx (wrapping ErrStageTimeout and the context
 // error), or an image with no device-cloud executable.
+//
+// With WithCache the report is served from the persistent result cache
+// when the same image bytes were already analyzed under the same effective
+// options and pipeline version; cached and fresh reports are identical.
 func AnalyzeImageContext(ctx context.Context, data []byte, opts ...Option) (*Report, error) {
-	img, err := image.Unpack(data)
+	cfg := newConfig(opts)
+	cfg.observe(1)
+	rn, err := cfg.runner()
 	if err != nil {
-		return nil, fmt.Errorf("firmres: %w: %w", errdefs.ErrCorruptImage, err)
+		return nil, err
 	}
-	return analyze(ctx, img, opts...)
+	defer rn.finish()
+	return rn.analyzeData(ctx, data)
 }
 
 // AnalyzeFile analyzes a firmware image file on disk.
@@ -300,19 +317,6 @@ func AnalyzeFileContext(ctx context.Context, path string, opts ...Option) (*Repo
 		return nil, fmt.Errorf("firmres: %w", err)
 	}
 	return AnalyzeImageContext(ctx, data, opts...)
-}
-
-func analyze(ctx context.Context, img *image.Image, opts ...Option) (*Report, error) {
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
-	}
-	cfg.observe(1)
-	res, err := core.New(cfg.opts).AnalyzeImageContext(ctx, img)
-	if err != nil {
-		return nil, err
-	}
-	return reportOf(res), nil
 }
 
 func reportOf(res *core.Result) *Report {

@@ -90,6 +90,58 @@ func TestGoldenReports(t *testing.T) {
 	}
 }
 
+// TestGoldenReportsCached replays the whole corpus against the golden files
+// with the persistent cache enabled, twice over one directory: the first
+// pass populates the cache (cold), the second is served from it (warm).
+// Both passes must stay byte-identical to the cache-off goldens — caching
+// is an optimization, never an observable behavior change.
+func TestGoldenReportsCached(t *testing.T) {
+	dir := t.TempDir()
+	var st CacheStats
+	for _, pass := range []string{"cold", "warm"} {
+		pass := pass
+		t.Run(pass, func(t *testing.T) {
+			for id := 1; id <= 22; id++ {
+				img, err := corpus.BuildImage(corpus.Device(id))
+				if err != nil {
+					t.Fatalf("BuildImage(%d): %v", id, err)
+				}
+				rec := &goldenRecord{Device: id}
+				report, err := AnalyzeImage(img.Pack(),
+					WithLint(), WithCache(dir), WithCacheStats(&st))
+				switch {
+				case err == nil:
+					report.StageTimings = nil
+					rec.Outcome = "report"
+					rec.Report = report
+				case errors.Is(err, ErrNoDeviceCloudExecutable):
+					rec.Outcome = "no-device-cloud-executable"
+				default:
+					t.Fatalf("AnalyzeImage(%d): %v", id, err)
+				}
+				got, err := json.MarshalIndent(rec, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, '\n')
+				want, err := os.ReadFile(goldenPath(id))
+				if err != nil {
+					t.Fatalf("missing golden file: %v", err)
+				}
+				if string(got) != string(want) {
+					t.Errorf("%s cached report for device %d diverged from golden:\n%s",
+						pass, id, clip(string(got)))
+				}
+			}
+		})
+	}
+	// Devices 21-22 fail fatally (never cached), so a warm corpus pass is
+	// 20 hits; everything else across both passes is a miss.
+	if st.Hits != 20 || st.Misses != 24 {
+		t.Errorf("cache stats over cold+warm corpus = %+v, want 20 hits + 24 misses", st)
+	}
+}
+
 // clip bounds a diff dump to keep failures readable.
 func clip(s string) string {
 	const max = 4000

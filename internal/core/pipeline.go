@@ -26,6 +26,13 @@ import (
 	"firmres/internal/taint"
 )
 
+// PipelineVersion stamps the analysis logic for cache keying. Every cached
+// report embeds it through Options.Fingerprint, so bumping it invalidates
+// the whole persistent cache at once. Bump it whenever any stage's logic
+// changes in a way that can alter a Report — new checkers, taint channel
+// changes, classifier dictionary edits, message rendering tweaks.
+const PipelineVersion = "v5"
+
 // Stage identifies one pipeline stage for the timing breakdown.
 type Stage int
 
@@ -198,6 +205,40 @@ func (o Options) withDefaults() Options {
 		o.ClusterThresholds = []float64{0.5, 0.6, 0.7}
 	}
 	return o
+}
+
+// Fingerprint canonically renders every report-affecting option plus the
+// PipelineVersion stamp — the options half of the analysis-cache key. Two
+// Options values with equal fingerprints produce byte-identical reports for
+// the same image; two with different fingerprints must never share a cache
+// entry. Defaults are applied first, so the zero value and an explicitly
+// spelled-out default configuration fingerprint identically.
+//
+// Deliberately excluded: Workers (reports are worker-count-invariant) and
+// Obs (span recording never changes the report). Included even though they
+// only matter under degradation: StageTimeout, because a budgeted run can
+// legitimately produce a different (partial) report than an unbudgeted one.
+func (o Options) Fingerprint() string {
+	o = o.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline=%s;", PipelineVersion)
+	fmt.Fprintf(&b, "classifier=%T;", o.Classifier)
+	if fp, ok := o.Classifier.(interface{ Fingerprint() string }); ok {
+		fmt.Fprintf(&b, "classifier-fp=%s;", fp.Fingerprint())
+	}
+	fmt.Fprintf(&b, "min-score=%g;", o.MinScore)
+	fmt.Fprintf(&b, "cluster-thresholds=%v;", o.ClusterThresholds)
+	fmt.Fprintf(&b, "stage-timeout=%d;", int64(o.StageTimeout))
+	fmt.Fprintf(&b, "taint-max-depth=%d;taint-max-nodes=%d;taint-no-store=%t;",
+		o.Taint.MaxDepth, o.Taint.MaxNodes, o.Taint.NoStoreChannel)
+	fmt.Fprintf(&b, "lint=%t;", o.Lint)
+	if len(o.LintRules) > 0 {
+		rules := append([]string(nil), o.LintRules...)
+		sort.Strings(rules)
+		fmt.Fprintf(&b, "lint-rules=%v;", rules)
+	}
+	fmt.Fprintf(&b, "metrics=%t;", o.Metrics)
+	return b.String()
 }
 
 // Pipeline runs the FIRMRES analysis.

@@ -49,6 +49,11 @@ var (
 	// ErrProbeExhausted marks a cloud probe abandoned after its retry
 	// budget ran out.
 	ErrProbeExhausted = errors.New("probe retries exhausted")
+
+	// ErrCacheCorrupt marks an on-disk analysis-cache entry that failed its
+	// integrity check. The entry is discarded and the image re-analyzed —
+	// a corrupt cache is a miss plus a note, never a failure.
+	ErrCacheCorrupt = errors.New("corrupt cache entry")
 )
 
 // sentinels in display order, with their short kind slugs.
@@ -64,6 +69,7 @@ var sentinels = []struct {
 	{ErrConfigSkipped, "config-skipped"},
 	{ErrNoDeviceCloudExecutable, "no-device-cloud-executable"},
 	{ErrProbeExhausted, "probe-exhausted"},
+	{ErrCacheCorrupt, "cache-corrupt"},
 }
 
 // Kind maps an error to the short slug of the taxonomy sentinel it wraps
@@ -76,6 +82,19 @@ func Kind(err error) string {
 		}
 	}
 	return "error"
+}
+
+// Sentinel is the inverse of Kind: it maps a taxonomy slug back to its
+// sentinel error, or nil for unknown slugs. Deserialized reports (the
+// analysis cache, JSON round trips) use it to rehydrate errors.Is dispatch
+// from the persisted kind.
+func Sentinel(kind string) error {
+	for _, s := range sentinels {
+		if s.kind == kind {
+			return s.err
+		}
+	}
+	return nil
 }
 
 // AnalysisError records one piece of work the pipeline skipped or

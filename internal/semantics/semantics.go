@@ -11,6 +11,8 @@
 package semantics
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 	"sync"
@@ -468,6 +470,21 @@ var _ Classifier = (*ModelClassifier)(nil)
 // Classify runs the model over the slice's enriched tokens.
 func (c *ModelClassifier) Classify(s slices.Slice) (string, float64) {
 	return c.Model.PredictLabel(c.pool.tokens(s))
+}
+
+// Fingerprint hashes the serialized model weights, so the analysis cache
+// keys runs with different trained models apart even though both classify
+// through the same type.
+func (c *ModelClassifier) Fingerprint() string {
+	h := sha256.New()
+	if c.Model != nil {
+		if err := c.Model.Save(h); err != nil {
+			// An unserializable model cannot be fingerprinted; poison the
+			// hash so it never collides with a healthy one.
+			fmt.Fprintf(h, "save-error:%v", err)
+		}
+	}
+	return "textcnn-" + hex.EncodeToString(h.Sum(nil))
 }
 
 // Example is one labelled slice for training.

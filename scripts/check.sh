@@ -10,12 +10,34 @@ cd "$(dirname "$0")/.."
 FUZZTIME="${FUZZTIME:-10s}"
 
 echo "== gofmt"
+# gofmt ships with the toolchain but lives in GOROOT/bin, which minimal
+# installs don't always put on PATH; fail with a pointer, not a bash error.
+if ! command -v gofmt >/dev/null 2>&1; then
+	echo "gofmt not found on PATH; add \$(go env GOROOT)/bin or install the full Go toolchain" >&2
+	exit 1
+fi
 unformatted=$(gofmt -l .)
 if [ -n "${unformatted}" ]; then
 	echo "gofmt needed on:" >&2
 	echo "${unformatted}" >&2
 	exit 1
 fi
+
+echo "== go mod tidy drift"
+# `go mod tidy -diff` needs Go 1.23+, and go.mod pins 1.22 — so tidy a
+# throwaway copy of the module metadata and diff it against the originals.
+tidydir=$(mktemp -d)
+trap 'rm -rf "${tidydir}"' EXIT
+cp -r . "${tidydir}/mod"
+(cd "${tidydir}/mod" && go mod tidy)
+for f in go.mod go.sum; do
+	if [ -e "${f}" ] || [ -e "${tidydir}/mod/${f}" ]; then
+		if ! diff -u "${f}" "${tidydir}/mod/${f}"; then
+			echo "go.mod/go.sum drift: run 'go mod tidy' and commit the result" >&2
+			exit 1
+		fi
+	fi
+done
 
 echo "== go vet"
 go vet ./...
@@ -31,6 +53,9 @@ go test -run 'TestCorpusSeededFindings|TestCorpusNegativesClean' ./internal/lint
 
 echo "== observability (traced goldens byte-identical, metrics deterministic)"
 go test -run 'TestGoldenReportsTraced|TestTraceSpansCoverEveryStage|TestBatchMetricsDeterministicAcrossWorkers' .
+
+echo "== persistent cache (cold/warm goldens byte-identical, single-flight under -race)"
+go test -race -run 'TestGoldenReportsCached|TestCacheBatchSingleFlight' .
 
 echo "== fuzz image.Unpack (${FUZZTIME})"
 go test -fuzz=FuzzUnpack -fuzztime="${FUZZTIME}" -run='^$' ./internal/image

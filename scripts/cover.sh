@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# cover.sh — atomic-mode coverage over every package, printed as a single
+# total. With -enforce, fails if the total drops below the floor recorded
+# in scripts/coverage_floor.txt (ratchet it up, never down: raise the floor
+# when new code lifts the total, so regressions are caught immediately).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile="${COVERPROFILE:-$(mktemp)}"
+go test -covermode=atomic -coverprofile="${profile}" ./... >/dev/null
+
+total=$(go tool cover -func="${profile}" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "total coverage: ${total}%"
+
+if [ "${1:-}" = "-enforce" ]; then
+	floor=$(cat scripts/coverage_floor.txt)
+	# awk handles the float comparison; bash can't.
+	if awk -v t="${total}" -v f="${floor}" 'BEGIN { exit !(t < f) }'; then
+		echo "coverage ${total}% is below the floor of ${floor}% (scripts/coverage_floor.txt)" >&2
+		exit 1
+	fi
+	echo "coverage floor ${floor}% held"
+fi
