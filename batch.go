@@ -58,6 +58,19 @@ type BatchSummary struct {
 	// Cache counts the batch's persistent-cache activity (hits, misses,
 	// evictions, corrupt entries discarded). Nil without WithCache.
 	Cache *CacheStats `json:",omitempty"`
+	// Probe rolls up the probe-replay stage across every report that ran
+	// it. Nil without WithProbe.
+	Probe *ProbeSummary `json:",omitempty"`
+}
+
+// ProbeSummary aggregates the probe-replay stage over a batch.
+type ProbeSummary struct {
+	Probed     int // messages replayed across all reports
+	Granted    int // attacker variant granted (exploitable)
+	Denied     int // attacker variant refused
+	Invalid    int // messages the cloud did not understand
+	Failed     int // probes that failed after retries
+	Vulnerable int // messages confirmed exploitable
 }
 
 // BatchReport is the outcome of one corpus batch: per-image results in
@@ -171,6 +184,17 @@ func batchReport(results []ImageResult, cacheStats *CacheStats) *BatchReport {
 			}
 		}
 		s.Diagnostics += len(r.Diagnostics)
+		if p := r.Probe; p != nil {
+			if s.Probe == nil {
+				s.Probe = &ProbeSummary{}
+			}
+			s.Probe.Probed += p.Probed
+			s.Probe.Granted += p.Counts[ProbeGranted]
+			s.Probe.Denied += p.Counts[ProbeDenied]
+			s.Probe.Invalid += p.Counts[ProbeInvalid]
+			s.Probe.Failed += p.Counts[ProbeFailed]
+			s.Probe.Vulnerable += p.Vulnerable
+		}
 		for stage, d := range r.StageTimings {
 			if s.StageTotals == nil {
 				s.StageTotals = make(map[string]time.Duration, len(r.StageTimings))

@@ -97,6 +97,9 @@ type runner struct {
 }
 
 func (c *config) runner() (*runner, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
 	r := &runner{cfg: c, pl: core.New(c.opts)}
 	if c.cacheDir != "" {
 		cc, err := cache.Open(c.cacheDir, cache.WithMaxBytes(c.cacheMaxBytes))

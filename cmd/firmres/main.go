@@ -6,6 +6,7 @@
 //
 //	firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N]
 //	        [-lint] [-lint-rules r1,r2] [-lint-json] [-timings]
+//	        [-probe] [-probe-chaos modes] [-probe-seed n] [-probe-probers n]
 //	        [-trace] [-trace-json file] [-metrics file] [-progress]
 //	        [-cache dir] [-cache-max-bytes n] [-no-cache] [-cache-clear]
 //	        [-pprof addr] image.img [image2.img ...]
@@ -23,6 +24,14 @@
 // the run (with no images, it just clears and exits), and -no-cache
 // disables caching even when -cache is given. Cached output is
 // byte-identical to a fresh analysis.
+//
+// Probing: -probe replays every reconstructed message against a simulated
+// cloud built from the device's corpus spec and reports per-message
+// exploitability (the paper's §V loop). -probe-chaos injects seeded
+// deterministic faults ("latency", "reset", "drop", "5xx", "slowloris", or
+// "all") in front of the cloud; -probe-seed pins the fault schedule —
+// identical seeds yield identical probe reports — and -probe-probers bounds
+// the concurrent probers per device.
 //
 // Observability: -trace prints the hierarchical span tree of the run to
 // stderr; -trace-json writes the same spans as Chrome trace_event JSON
@@ -68,6 +77,10 @@ type options struct {
 	lintRules    string
 	lintJSON     bool
 	timings      bool
+	probe        bool
+	probeChaos   string
+	probeSeed    int64
+	probeProbers int
 	jobs         int
 	trace        bool
 	traceJSON    string
@@ -104,6 +117,14 @@ func run() int {
 		"emit lint diagnostics as a SARIF 2.1.0 document instead of the text report (implies -lint)")
 	flag.BoolVar(&opts.timings, "timings", false,
 		"print the per-stage timing breakdown in the text report")
+	flag.BoolVar(&opts.probe, "probe", false,
+		"replay reconstructed messages against a simulated cloud and report exploitability")
+	flag.StringVar(&opts.probeChaos, "probe-chaos", "",
+		"comma-separated chaos fault modes injected in front of the simulated cloud (latency,reset,drop,5xx,slowloris or all; implies -probe)")
+	flag.Int64Var(&opts.probeSeed, "probe-seed", 0,
+		"seed for the chaos fault schedule; identical seeds give identical probe reports")
+	flag.IntVar(&opts.probeProbers, "probe-probers", 0,
+		"concurrent probers per device (0 = default 8); output is identical at any count")
 	flag.IntVar(&opts.jobs, "j", 1,
 		"analyze up to N images concurrently (0 = GOMAXPROCS; 1 = sequential)")
 	flag.BoolVar(&opts.trace, "trace", false,
@@ -141,7 +162,7 @@ func run() int {
 		}
 	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N] [-lint] [-lint-rules r1,r2] [-lint-json] [-timings] [-trace] [-trace-json file] [-metrics file] [-progress] [-cache dir] [-cache-max-bytes n] [-no-cache] [-cache-clear] [-pprof addr] image.img ...")
+		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N] [-lint] [-lint-rules r1,r2] [-lint-json] [-timings] [-probe] [-probe-chaos modes] [-probe-seed n] [-probe-probers n] [-trace] [-trace-json file] [-metrics file] [-progress] [-cache dir] [-cache-max-bytes n] [-no-cache] [-cache-clear] [-pprof addr] image.img ...")
 		return exitUsage
 	}
 	if opts.pprofAddr != "" {
@@ -345,6 +366,24 @@ func apiOptions(opts options) []firmres.Option {
 			apiOpts = append(apiOpts, firmres.WithCacheMaxBytes(opts.cacheMax))
 		}
 	}
+	if opts.probe || opts.probeChaos != "" {
+		apiOpts = append(apiOpts, firmres.WithProbe())
+		if opts.probeChaos != "" {
+			var modes []string
+			for _, m := range strings.Split(opts.probeChaos, ",") {
+				if m = strings.TrimSpace(m); m != "" {
+					modes = append(modes, m)
+				}
+			}
+			apiOpts = append(apiOpts, firmres.WithProbeChaos(modes...))
+		}
+		if opts.probeSeed != 0 {
+			apiOpts = append(apiOpts, firmres.WithProbeSeed(opts.probeSeed))
+		}
+		if opts.probeProbers > 0 {
+			apiOpts = append(apiOpts, firmres.WithProbeProbers(opts.probeProbers))
+		}
+	}
 	return apiOpts
 }
 
@@ -421,6 +460,24 @@ func printReport(w io.Writer, path string, r *firmres.Report, opts options) {
 				for _, ev := range d.Evidence {
 					fmt.Fprintf(w, "         %s\n", ev)
 				}
+			}
+		}
+	}
+	if p := r.Probe; p != nil {
+		fmt.Fprintf(w, "   probe: %d probed, %d granted, %d denied, %d invalid, %d failed — %d exploitable\n",
+			p.Probed, p.Counts[firmres.ProbeGranted], p.Counts[firmres.ProbeDenied],
+			p.Counts[firmres.ProbeInvalid], p.Counts[firmres.ProbeFailed], p.Vulnerable)
+		for _, o := range p.Outcomes {
+			if o.Classification != firmres.ProbeGranted && o.ErrorKind == "" {
+				continue
+			}
+			fmt.Fprintf(w, "     - %-24s %-5s %-42s %s", o.Function, o.Transport, o.Route, o.Classification)
+			if o.ErrorKind != "" {
+				fmt.Fprintf(w, " (%s)", o.ErrorKind)
+			}
+			fmt.Fprintln(w)
+			for _, leak := range o.Leaks {
+				fmt.Fprintf(w, "         %s\n", leak)
 			}
 		}
 	}

@@ -121,6 +121,11 @@ type Report struct {
 	// Errors lists the work the pipeline skipped or abandoned while
 	// degrading gracefully. Empty for a clean run; see Partial.
 	Errors []AnalysisError `json:",omitempty"`
+	// Probe is the §V replay report: every reconstructed message probed
+	// against a simulated cloud and terminally classified. Populated only
+	// under WithProbe; probe-less reports are byte-identical to builds
+	// without the stage.
+	Probe *ProbeReport `json:",omitempty"`
 }
 
 // Partial reports whether the analysis degraded — some executables or
@@ -172,6 +177,7 @@ type Option func(*config)
 
 type config struct {
 	opts          core.Options
+	err           error // configuration error reported by an Option
 	workers       int
 	trace         *Trace
 	observers     []Observer
@@ -326,6 +332,9 @@ func reportOf(res *core.Result) *Report {
 		Executable:   res.Executable,
 		StageTimings: map[string]time.Duration{},
 		Metrics:      res.Metrics,
+	}
+	if res.Probe != nil {
+		r.Probe = probeReportOf(res.Probe)
 	}
 	for s := core.StagePinpoint; s < core.Stage(len(res.Timing)); s++ {
 		r.StageTimings[s.String()] = res.Timing[s]

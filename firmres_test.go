@@ -45,7 +45,7 @@ func TestAnalyzeImagePublicAPI(t *testing.T) {
 	if report.ClusterCounts["0.5"] > report.ClusterCounts["0.7"] {
 		t.Errorf("cluster counts inverted: %v", report.ClusterCounts)
 	}
-	if len(report.StageTimings) != 6 {
+	if len(report.StageTimings) != 7 {
 		t.Errorf("stage timings = %v", report.StageTimings)
 	}
 }

@@ -1,0 +1,143 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"firmres/internal/errdefs"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := &Breaker{Threshold: 3, Cooldown: 10 * time.Millisecond}
+	fail := func(context.Context) error { return errors.New("transport down") }
+	for i := 0; i < 3; i++ {
+		if err := b.Do(context.Background(), fail); err == nil {
+			t.Fatal("expected the op error through")
+		}
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("opens = %d, want 1 after %d consecutive failures", got, 3)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := &Breaker{Threshold: 3, Cooldown: 10 * time.Millisecond}
+	fail := func(context.Context) error { return errors.New("transport down") }
+	ok := func(context.Context) error { return nil }
+	_ = b.Do(context.Background(), fail)
+	_ = b.Do(context.Background(), fail)
+	_ = b.Do(context.Background(), ok) // streak broken
+	_ = b.Do(context.Background(), fail)
+	_ = b.Do(context.Background(), fail)
+	if got := b.Opens(); got != 0 {
+		t.Fatalf("opens = %d, want 0: success must reset the failure streak", got)
+	}
+}
+
+func TestBreakerPermanentErrorResetsStreak(t *testing.T) {
+	b := &Breaker{Threshold: 2, Cooldown: 10 * time.Millisecond}
+	_ = b.Do(context.Background(), func(context.Context) error { return errors.New("x") })
+	// A Permanent error is a definitive answer from the cloud, not a
+	// transport failure: it must not count toward opening the circuit.
+	_ = b.Do(context.Background(), func(context.Context) error { return Permanent(errors.New("denied")) })
+	_ = b.Do(context.Background(), func(context.Context) error { return errors.New("x") })
+	if got := b.Opens(); got != 0 {
+		t.Fatalf("opens = %d, want 0: Permanent must reset the streak", got)
+	}
+}
+
+func TestBreakerOpenDelaysNotFails(t *testing.T) {
+	cooldown := 30 * time.Millisecond
+	b := &Breaker{Threshold: 1, Cooldown: cooldown}
+	_ = b.Do(context.Background(), func(context.Context) error { return errors.New("x") })
+	if b.Opens() != 1 {
+		t.Fatal("breaker should be open")
+	}
+	start := time.Now()
+	err := b.Do(context.Background(), func(context.Context) error { return nil })
+	if err != nil {
+		t.Fatalf("op through an open breaker must wait, not fail: %v", err)
+	}
+	if waited := time.Since(start); waited < cooldown/2 {
+		t.Fatalf("waited %v, want at least ~%v cooldown", waited, cooldown)
+	}
+}
+
+func TestBreakerOpenContextExpiryIsTyped(t *testing.T) {
+	b := &Breaker{Threshold: 1, Cooldown: time.Minute}
+	_ = b.Do(context.Background(), func(context.Context) error { return errors.New("x") })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := b.Do(ctx, func(context.Context) error { return nil })
+	if !errors.Is(err, errdefs.ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if kind := errdefs.Kind(err); kind != "breaker-open" {
+		t.Fatalf("kind = %q, want breaker-open", kind)
+	}
+}
+
+func TestBreakerNilPassThrough(t *testing.T) {
+	var b *Breaker
+	ran := false
+	if err := b.Do(context.Background(), func(context.Context) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || b.Opens() != 0 {
+		t.Fatal("nil breaker must pass the op through")
+	}
+}
+
+func TestBreakerConcurrentProbersShareIt(t *testing.T) {
+	b := &Breaker{Threshold: 5, Cooldown: time.Millisecond}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				err := error(nil)
+				if (g+i)%3 == 0 {
+					err = errors.New("flaky")
+				}
+				_ = b.Do(context.Background(), func(context.Context) error { return err })
+			}
+		}(g)
+	}
+	wg.Wait() // -race patrols the shared state
+}
+
+// TestBackoffSharedRandConcurrent pins the satellite fix: one Backoff value
+// with a non-nil Rand copied into hundreds of concurrent Do calls must not
+// race on the shared source (the jitter used to draw from it unlocked).
+func TestBackoffSharedRandConcurrent(t *testing.T) {
+	shared := rand.New(rand.NewSource(1))
+	b := Backoff{
+		Attempts: 3, Base: time.Microsecond, Max: 2 * time.Microsecond,
+		Budget: time.Second, Jitter: 0.5, Rand: shared,
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			policy := b // copied by value, as the probers do
+			calls := 0
+			err := policy.Do(context.Background(), func(context.Context) error {
+				if calls++; calls < 3 {
+					return fmt.Errorf("transient %d", calls)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}

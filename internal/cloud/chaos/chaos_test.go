@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"firmres/internal/cloud"
+	"firmres/internal/mqtt"
+	"firmres/internal/obs"
+)
+
+func TestForModes(t *testing.T) {
+	all, ok := ForModes(7)
+	if !ok || !all.Enabled() {
+		t.Fatal("ForModes() with no names must enable every mode")
+	}
+	explicit, ok := ForModes(7, "all")
+	if !ok || explicit != all {
+		t.Fatalf("ForModes(all) = %+v, want %+v", explicit, all)
+	}
+	for _, m := range Modes() {
+		cfg, ok := ForModes(7, m)
+		if !ok || !cfg.Enabled() {
+			t.Errorf("ForModes(%q) not enabled", m)
+		}
+	}
+	if _, ok := ForModes(7, "gremlins"); ok {
+		t.Error("unknown mode must be rejected")
+	}
+	one, _ := ForModes(7, "latency")
+	if one.ResetRate != 0 || one.DropRate != 0 || one.Err5xxRate != 0 || one.SlowLorisRate != 0 {
+		t.Errorf("single-mode config enabled extra modes: %+v", one)
+	}
+}
+
+func TestFingerprintDistinguishesSchedules(t *testing.T) {
+	a, _ := ForModes(1)
+	b, _ := ForModes(2)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different seeds must fingerprint differently")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint must be stable")
+	}
+	c, _ := ForModes(1, "latency")
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different mode sets must fingerprint differently")
+	}
+}
+
+// TestDisruptDeterministicPerKey pins the core chaos contract: the fault
+// sequence for a key is a pure function of (seed, key, attempt), so two
+// injectors with the same config agree regardless of interleaving.
+func TestDisruptDeterministicPerKey(t *testing.T) {
+	cfg, _ := ForModes(42)
+	a, b := New(cfg), New(cfg)
+	keys := []string{"probe-1/0/valid", "probe-1/0/attack", "probe-2/7/valid"}
+	// Drive injector b with an interleaving different from a's.
+	var seqA, seqB []mqtt.Disruption
+	for round := 0; round < 5; round++ {
+		for _, k := range keys {
+			seqA = append(seqA, a.Disrupt("", k))
+		}
+	}
+	for _, k := range keys {
+		for round := 0; round < 5; round++ {
+			seqB = append(seqB, b.Disrupt("", k))
+		}
+	}
+	// Re-order seqB into seqA's (round, key) order for comparison.
+	reordered := make([]mqtt.Disruption, 0, len(seqB))
+	for round := 0; round < 5; round++ {
+		for ki := range keys {
+			reordered = append(reordered, seqB[ki*5+round])
+		}
+	}
+	if !reflect.DeepEqual(seqA, reordered) {
+		t.Fatal("fault sequence depends on interleaving; must be per-key deterministic")
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	inj := New(Config{Seed: 99})
+	for i := 0; i < 50; i++ {
+		if d := inj.Disrupt("client", "key"); d != (mqtt.Disruption{}) {
+			t.Fatalf("zero-rate config disrupted: %+v", d)
+		}
+	}
+}
+
+func TestHandler5xxBurstHeals(t *testing.T) {
+	// Err5xxRate 1 marks every key 5xx-prone; burst 2 means the first two
+	// attempts answer 502 and the third reaches the real handler.
+	inj := New(Config{Seed: 3, Err5xxRate: 1, Err5xxBurst: 2}, WithMetrics(obs.NewMetrics()))
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "Request OK")
+	})
+	srv := httptest.NewServer(inj.Handler(inner))
+	defer srv.Close()
+
+	get := func() int {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+		req.Header.Set(cloud.ProbeIDHeader, "probe-abc")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if got := []int{get(), get(), get()}; got[0] != 502 || got[1] != 502 || got[2] != 200 {
+		t.Fatalf("burst sequence = %v, want [502 502 200]", got)
+	}
+}
+
+func TestHandlerResetSeversConnection(t *testing.T) {
+	inj := New(Config{Seed: 3, ResetRate: 1})
+	srv := httptest.NewServer(inj.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("reset must never reach the inner handler")
+	})))
+	defer srv.Close()
+	if _, err := http.Get(srv.URL); err == nil {
+		t.Fatal("a reset connection must surface as a transport error")
+	}
+}
+
+func TestHandlerSlowLorisNeverCompletes(t *testing.T) {
+	inj := New(Config{
+		Seed: 3, SlowLorisRate: 1,
+		SlowChunkDelay: 2 * time.Millisecond, SlowHold: 40 * time.Millisecond,
+	})
+	srv := httptest.NewServer(inj.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("slow-loris must never reach the inner handler")
+	})))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		return // connection severed before headers: also a non-answer
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("slow-loris body completed cleanly; the hold must sever, not finish")
+	}
+}
+
+func TestDisruptMQTTMapping(t *testing.T) {
+	reject := New(Config{Seed: 1, ResetRate: 1})
+	if d := reject.Disrupt("cid", "key"); !d.RejectConn {
+		t.Errorf("reset mode must reject MQTT CONNECT, got %+v", d)
+	}
+	drop := New(Config{Seed: 1, DropRate: 1})
+	if d := drop.Disrupt("cid", "key"); d.DropAfter != 1 {
+		t.Errorf("drop mode must sever before the first packet, got %+v", d)
+	}
+	slow := New(Config{Seed: 1, LatencyRate: 1, Latency: 7 * time.Millisecond})
+	if d := slow.Disrupt("cid", "key"); d.ConnectDelay != 7*time.Millisecond {
+		t.Errorf("latency mode must delay CONNACK, got %+v", d)
+	}
+	// Empty username falls back to the client ID for keying; both forms must
+	// agree with themselves across calls (per-key counters separate).
+	byID := New(Config{Seed: 5, DropRate: 1})
+	if d1, d2 := byID.Disrupt("cid", ""), byID.Disrupt("cid", ""); d1 != d2 {
+		t.Errorf("client-ID keying unstable: %+v vs %+v", d1, d2)
+	}
+}

@@ -1,0 +1,119 @@
+package cloud
+
+// Edge-case coverage for the §V classification and §III-B discovery
+// helpers: unknown statuses, empty bodies, blank identities, and closed
+// discovery channels.
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestClassifyEdgeCases(t *testing.T) {
+	cases := []struct {
+		status int
+		body   string
+		want   string
+	}{
+		{http.StatusOK, "", RespOK},                     // empty 200: granted shape
+		{http.StatusOK, "Request OK", RespOK},           // body prefix wins
+		{http.StatusTeapot, "", RespBadRequest},         // unknown status, no body
+		{http.StatusConflict, "", RespBadRequest},       // unknown 4xx
+		{http.StatusUnauthorized, "", RespAccessDenied}, // 401 maps like 403
+		{http.StatusNotFound, "", RespPathNotExist},     // 404
+		{http.StatusMethodNotAllowed, "", RespNotSupported},
+		{http.StatusTeapot, "No Permission", RespNoPermission}, // body overrides status
+		{http.StatusOK, "Access Denied", RespAccessDenied},     // body overrides 200
+		{http.StatusOK, "Path Not Exists", RespPathNotExist},   // soft-404 body
+		{http.StatusOK, strings.Repeat(".", 512), RespOK},      // junk body, 200 status
+	}
+	for _, tc := range cases {
+		if got := classify(tc.status, tc.body); got != tc.want {
+			t.Errorf("classify(%d, %.20q) = %q, want %q", tc.status, tc.body, got, tc.want)
+		}
+	}
+	// The understood set is exactly the paper's §V-C validity criterion.
+	for class, valid := range map[string]bool{
+		RespOK: true, RespNoPermission: true, RespAccessDenied: true,
+		RespBadRequest: false, RespNotSupported: false, RespPathNotExist: false,
+		"Totally Unknown": false, "": false,
+	} {
+		if got := UnderstoodResponse(class); got != valid {
+			t.Errorf("UnderstoodResponse(%q) = %t, want %t", class, got, valid)
+		}
+	}
+}
+
+func TestAuditResponseEdgeCases(t *testing.T) {
+	id := testIdentity()
+	if got := AuditResponse("", id); got != nil {
+		t.Errorf("empty body leaks = %v, want none", got)
+	}
+	if got := AuditResponse("nothing sensitive here", id); got != nil {
+		t.Errorf("clean body leaks = %v, want none", got)
+	}
+	// A blank identity must not match everything (empty values are skipped).
+	if got := AuditResponse("any body at all", Identity{}); got != nil {
+		t.Errorf("blank identity leaks = %v, want none", got)
+	}
+	// Multiple credentials in one body are each reported.
+	body := "token=" + id.BindToken + "&secret=" + id.Secret
+	got := AuditResponse(body, id)
+	if len(got) != 2 {
+		t.Fatalf("leaks = %v, want 2 findings", got)
+	}
+	for _, leak := range got {
+		if !strings.Contains(leak, "leaks") {
+			t.Errorf("leak description %q does not describe a leak", leak)
+		}
+	}
+}
+
+func TestRegistryEdgeCases(t *testing.T) {
+	open := ExposedDevice{
+		IP: "203.0.113.5", Model: "C5S", SNMPOpen: true,
+		Identity: Identity{MAC: "AA:BB:CC:00:00:01", Serial: "S1"},
+	}
+	closed := ExposedDevice{
+		IP: "203.0.113.6", Model: "C5S", SNMPOpen: false,
+		Identity: Identity{MAC: "AA:BB:CC:00:00:02", Serial: "S2"},
+	}
+	other := ExposedDevice{
+		IP: "203.0.113.7", Model: "X9", SNMPOpen: true,
+		Identity: Identity{MAC: "DD:EE:FF:00:00:03", Serial: "S3"},
+	}
+	r := NewRegistry(open, closed, other)
+
+	if got := r.Shodan("C5S"); len(got) != 1 || got[0].IP != open.IP {
+		t.Errorf("Shodan(C5S) = %v, want only the SNMP-open device", got)
+	}
+	if got := r.Shodan("NoSuchModel"); got != nil {
+		t.Errorf("Shodan(unknown model) = %v, want none", got)
+	}
+
+	if _, err := r.SNMPQuery(closed.IP, OIDMac); err == nil {
+		t.Error("SNMPQuery against a closed port must fail")
+	}
+	if _, err := r.SNMPQuery("198.51.100.99", OIDMac); err == nil {
+		t.Error("SNMPQuery against an unknown IP must fail")
+	}
+	if _, err := r.SNMPQuery(open.IP, "1.3.6.1.99.99"); err == nil {
+		t.Error("SNMPQuery for an unknown OID must fail")
+	}
+	if mac, err := r.SNMPQuery(open.IP, OIDMac); err != nil || mac != open.Identity.MAC {
+		t.Errorf("SNMPQuery(mac) = %q, %v", mac, err)
+	}
+	if sn, err := r.SNMPQuery(open.IP, OIDSerial); err != nil || sn != open.Identity.Serial {
+		t.Errorf("SNMPQuery(serial) = %q, %v", sn, err)
+	}
+
+	// MAC enumeration is case-insensitive on the OUI and includes devices
+	// with closed SNMP (the brute-force channel does not need SNMP).
+	if got := r.EnumerateMACs("aa:bb:cc"); len(got) != 2 {
+		t.Errorf("EnumerateMACs(aa:bb:cc) = %d devices, want 2", len(got))
+	}
+	if got := r.EnumerateMACs("11:22:33"); got != nil {
+		t.Errorf("EnumerateMACs(unknown OUI) = %v, want none", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"firmres/internal/formcheck"
 	"firmres/internal/image"
 	"firmres/internal/mqtt"
+	"firmres/internal/obs"
 	"firmres/internal/semantics"
 	"firmres/internal/taint"
 )
@@ -20,6 +21,33 @@ import (
 // DefaultHTTPTimeout bounds one HTTP probe attempt when no WithHTTPTimeout
 // option is given.
 const DefaultHTTPTimeout = 5 * time.Second
+
+// ProbeIDHeader carries the probe's unique identity on HTTP attempts so the
+// chaos layer can key its fault decisions on the probe, not on arrival
+// order or request bytes (two probes may send identical bytes).
+const ProbeIDHeader = "X-Firmres-Probe"
+
+// probeIDKey carries the probe identity through a context.
+type probeIDKey struct{}
+
+// WithProbeID returns ctx carrying the probe's unique identity. HTTP
+// attempts send it as the ProbeIDHeader; MQTT attempts send it as the
+// CONNECT username (which the simulated clouds ignore for auth).
+func WithProbeID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, probeIDKey{}, id)
+}
+
+// ProbeIDFromContext returns the probe identity, or "".
+func ProbeIDFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(probeIDKey{}).(string)
+	return id
+}
 
 // ProbeResult is the outcome of sending one reconstructed message.
 type ProbeResult struct {
@@ -30,12 +58,23 @@ type ProbeResult struct {
 	Granted bool   // access was granted
 }
 
-// Prober sends reconstructed messages to a simulated cloud.
+// Prober sends reconstructed messages to a simulated cloud. One Prober may
+// be shared by many goroutines probing concurrently.
 type Prober struct {
 	HTTPAddr string
 	Cloud    *Cloud // for MQTT feedback and in-process experiments
 	Client   *http.Client
 	Retry    Backoff // per-probe retry policy; zero value = defaults
+	// Breaker, when non-nil, is the per-cloud circuit breaker every attempt
+	// runs through.
+	Breaker *Breaker
+	// Timeout bounds one MQTT attempt (dial + publish + broker-decision
+	// poll); 0 means DefaultHTTPTimeout. HTTP attempts are bounded by
+	// Client.Timeout.
+	Timeout time.Duration
+	// Metrics receives probe_attempts_total and probe_retries_total;
+	// nil-safe.
+	Metrics *obs.Metrics
 }
 
 // ProberOption configures a Prober.
@@ -80,14 +119,26 @@ func (p *Prober) ProbeContext(ctx context.Context, msg *fields.Message) (*ProbeR
 		return &ProbeResult{Class: RespPathNotExist}, nil
 	}
 	var res *ProbeResult
+	attempt := 0
 	err := p.Retry.Do(ctx, func(ctx context.Context) error {
-		var err error
-		if msg.Format == fields.FormatMQTT {
-			res, err = p.probeMQTT(msg)
-		} else {
-			res, err = p.probeHTTP(ctx, msg)
+		attempt++
+		p.Metrics.Counter("probe_attempts_total").Inc()
+		if attempt > 1 {
+			p.Metrics.Counter("probe_retries_total").Inc()
 		}
-		return err
+		op := func(ctx context.Context) error {
+			var err error
+			if msg.Format == fields.FormatMQTT {
+				res, err = p.probeMQTT(ctx, msg)
+			} else {
+				res, err = p.probeHTTP(ctx, msg)
+			}
+			return err
+		}
+		if p.Breaker != nil {
+			return p.Breaker.Do(ctx, op)
+		}
+		return op(ctx)
 	})
 	if err != nil {
 		return nil, err
@@ -125,12 +176,26 @@ func (p *Prober) probeHTTP(ctx context.Context, msg *fields.Message) (*ProbeResu
 		return nil, Permanent(fmt.Errorf("cloud: probe request: %w", err))
 	}
 	req.Header.Set("Content-Type", contentType)
+	if id := ProbeIDFromContext(ctx); id != "" {
+		req.Header.Set(ProbeIDHeader, id)
+	}
 	resp, err := p.Client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("cloud: probe: %w", err)
 	}
 	defer resp.Body.Close()
-	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		// A truncated or stalled body (drops, slow-loris) is transport
+		// weather, not an answer: retry.
+		return nil, fmt.Errorf("cloud: probe: read response: %w", err)
+	}
+	if resp.StatusCode >= 500 {
+		// Server-side failures are transient by definition here: the
+		// simulated clouds never emit 5xx except through fault injection,
+		// and a real cloud's 5xx says nothing about access control.
+		return nil, fmt.Errorf("cloud: probe: server error %d", resp.StatusCode)
+	}
 	res := &ProbeResult{
 		Status: resp.StatusCode,
 		Body:   strings.TrimSpace(string(raw)),
@@ -182,14 +247,27 @@ func classify(status int, body string) string {
 
 // probeMQTT connects as the device (client ID = first identifier-looking
 // field), publishes, and reads the broker's authorization decision from the
-// cloud's access log.
-func (p *Prober) probeMQTT(msg *fields.Message) (*ProbeResult, error) {
+// cloud's access log. One attempt is bounded by Prober.Timeout and the
+// context's deadline, whichever is tighter.
+func (p *Prober) probeMQTT(ctx context.Context, msg *fields.Message) (*ProbeResult, error) {
 	if p.Cloud == nil {
 		return nil, Permanent(fmt.Errorf("cloud: MQTT probe needs an in-process cloud"))
 	}
+	timeout := p.Timeout
+	if timeout <= 0 {
+		timeout = DefaultHTTPTimeout
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if until := time.Until(dl); until < timeout {
+			timeout = until
+		}
+	}
+	if timeout <= 0 {
+		return nil, fmt.Errorf("cloud: mqtt probe: %w", ctx.Err())
+	}
 	clientID := mqttClientID(msg)
 	secret := mqttPassword(msg)
-	client, err := mqtt.Dial(p.Cloud.MQTTAddr(), clientID, "", secret)
+	client, err := mqtt.DialTimeout(p.Cloud.MQTTAddr(), clientID, ProbeIDFromContext(ctx), secret, timeout)
 	var refused *mqtt.ConnRefusedError
 	if errors.As(err, &refused) {
 		return &ProbeResult{Class: RespAccessDenied, Valid: true}, nil
@@ -198,13 +276,20 @@ func (p *Prober) probeMQTT(msg *fields.Message) (*ProbeResult, error) {
 		return nil, err
 	}
 	defer client.Close()
+	deadline := time.Now().Add(timeout)
+	_ = client.SetDeadline(deadline)
 	before := len(p.Cloud.AccessLog())
 	if err := client.Publish(msg.Topic, []byte(msg.Body)); err != nil {
 		return nil, err
 	}
-	// Wait for the broker to process the publish.
-	deadline := time.Now().Add(2 * time.Second)
+	// Wait for the broker to process the publish. The broker records a
+	// decision for every publish it processes — known topic or not — so a
+	// silent deadline here means the publish was lost in transit (a severed
+	// session, a draining broker): transport weather, retry.
 	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cloud: mqtt probe: %w", err)
+		}
 		log := p.Cloud.AccessLog()
 		for _, a := range log[before:] {
 			if a.Endpoint == "mqtt:"+msg.Topic {
@@ -213,9 +298,9 @@ func (p *Prober) probeMQTT(msg *fields.Message) (*ProbeResult, error) {
 				return res, nil
 			}
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond)
 	}
-	return &ProbeResult{Class: RespPathNotExist}, nil
+	return nil, fmt.Errorf("cloud: mqtt probe: no broker decision for topic %q", msg.Topic)
 }
 
 // mqttClientID picks the device identifier field for the MQTT client ID.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"firmres/internal/errdefs"
@@ -24,10 +25,18 @@ type Backoff struct {
 	Jitter   float64       // random fraction added to each delay (default 0.5)
 
 	// Rand seeds the jitter for deterministic tests; nil uses the
-	// goroutine-safe global source. A non-nil Rand is not safe for
-	// concurrent Do calls.
+	// goroutine-safe global source. A shared non-nil Rand is safe for
+	// concurrent Do calls: each Do draws one seed from it under an
+	// internal lock and jitters from its own derived source, so hundreds
+	// of probers can share a single policy value.
 	Rand *rand.Rand
 }
+
+// sharedRandMu guards draws from a caller-supplied Backoff.Rand. Backoff is
+// copied by value between probers, so the lock cannot live inside the
+// struct; one package-level mutex covers every policy, and it is held only
+// for a single Int63 per Do call.
+var sharedRandMu sync.Mutex
 
 func (b *Backoff) withDefaults() Backoff {
 	out := Backoff{
@@ -73,6 +82,14 @@ func Permanent(err error) error {
 // the context error.
 func (b *Backoff) Do(ctx context.Context, op func(context.Context) error) error {
 	cfg := b.withDefaults()
+	if cfg.Rand != nil {
+		// Derive a per-call source so concurrent Do calls never race on the
+		// shared Rand; the draw itself is the only guarded operation.
+		sharedRandMu.Lock()
+		seed := cfg.Rand.Int63()
+		sharedRandMu.Unlock()
+		cfg.Rand = rand.New(rand.NewSource(seed))
+	}
 	ctx, cancel := context.WithTimeout(ctx, cfg.Budget)
 	defer cancel()
 

@@ -38,6 +38,14 @@ func UnderstoodResponse(class string) bool {
 
 // Cloud hosts the HTTP and MQTT services for a set of device specs.
 type Cloud struct {
+	// HTTPMiddleware, when non-nil, wraps the HTTP handler at Start — the
+	// hook the chaos layer uses to inject faults in front of the real
+	// routes. Set before Start.
+	HTTPMiddleware func(http.Handler) http.Handler
+	// MQTTChaos, when non-nil, is installed as the broker's per-session
+	// disruption hook at Start. Set before Start.
+	MQTTChaos mqtt.ChaosFunc
+
 	mu    sync.Mutex
 	specs map[int]*Spec
 
@@ -78,12 +86,17 @@ func (c *Cloud) Start() (httpAddr, mqttAddr string, err error) {
 	c.httpAddr = ln.Addr().String()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", c.handleHTTP)
-	c.httpSrv = &http.Server{Handler: mux}
+	var handler http.Handler = mux
+	if c.HTTPMiddleware != nil {
+		handler = c.HTTPMiddleware(handler)
+	}
+	c.httpSrv = &http.Server{Handler: handler}
 	go func() { _ = c.httpSrv.Serve(ln) }()
 
 	c.broker = mqtt.NewBroker()
 	c.broker.Auth = c.mqttAuth
 	c.broker.OnPub = c.mqttPublish
+	c.broker.Chaos = c.MQTTChaos
 	c.mqttAddr, err = c.broker.Listen("127.0.0.1:0")
 	if err != nil {
 		c.httpSrv.Close()

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"firmres/internal/binfmt"
+	"firmres/internal/cloud"
+	"firmres/internal/cloud/probe"
 	"firmres/internal/errdefs"
 	"firmres/internal/facts"
 	"firmres/internal/fields"
@@ -325,6 +327,43 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (r
 				return nil, fmt.Errorf("%w: %w", errdefs.ErrStageTimeout, sctx.Err())
 			}
 			return func() { res.Diagnostics = diags }, nil
+		})
+		if err != nil && !errors.Is(err, errStageDegraded) {
+			return res, err
+		}
+	}
+
+	// Stage 7: probe replay (opt-in). Every reconstructed message is
+	// replayed against a simulated cloud and terminally classified; a device
+	// with no known cloud spec degrades with a note instead of failing. The
+	// probe package guarantees a fully classified report even when the stage
+	// budget expires mid-fleet (unprobed messages land as
+	// probe-failed/stage-timeout), so the commit is unconditional.
+	if p.opts.Probe != nil {
+		err = p.runStage(ctx, res, StageProbe, func(sctx context.Context) (func(), error) {
+			po := *p.opts.Probe
+			po.Metrics = met
+			var spec *cloud.Spec
+			if po.SpecFor != nil {
+				spec = po.SpecFor(res.Device, res.Version)
+			}
+			if spec == nil {
+				note := errdefs.AnalysisError{
+					Stage: StageProbe.String(),
+					Err:   fmt.Errorf("%w: %s %s", errdefs.ErrNoCloudSpec, res.Device, res.Version),
+				}
+				return func() { res.Errors = append(res.Errors, note) }, nil
+			}
+			msgs := make([]*fields.Message, len(res.Messages))
+			for i := range res.Messages {
+				msgs[i] = res.Messages[i].Message
+			}
+			rep, perr := probe.Device(sctx, spec, msgs, img, po)
+			if perr != nil {
+				note := errdefs.AnalysisError{Stage: StageProbe.String(), Err: perr}
+				return func() { res.Errors = append(res.Errors, note) }, nil
+			}
+			return func() { res.Probe = rep }, nil
 		})
 		if err != nil && !errors.Is(err, errStageDegraded) {
 			return res, err

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"firmres/internal/cloud/probe"
 	"firmres/internal/errdefs"
 	"firmres/internal/fields"
 	"firmres/internal/formcheck"
@@ -44,6 +45,7 @@ const (
 	StageConcat                 // concatenating message fields
 	StageFormCheck              // detecting incorrect forms
 	StageLint                   // lint passes over the lifted executable
+	StageProbe                  // replaying messages against a simulated cloud (§V)
 	numStages
 )
 
@@ -71,6 +73,8 @@ func (s Stage) String() string {
 		return "check-forms"
 	case StageLint:
 		return "lint-passes"
+	case StageProbe:
+		return "probe-replay"
 	default:
 		return fmt.Sprintf("stage?%d", int(s))
 	}
@@ -131,7 +135,11 @@ type Result struct {
 	// Diagnostics holds the lint-pass findings over the identified
 	// executable; populated only when Options.Lint is set.
 	Diagnostics []lint.Diagnostic
-	Timing      Timing
+	// Probe is the §V replay report — every reconstructed message probed
+	// against a simulated cloud and terminally classified; populated only
+	// when Options.Probe is set and a cloud spec was resolved.
+	Probe  *probe.Report
+	Timing Timing
 	// Metrics is the snapshot of the work-derived counters and histograms
 	// one analysis collected; populated only when Options.Metrics is set.
 	// Every value derives from the work performed, never from scheduling,
@@ -195,6 +203,11 @@ type Options struct {
 	// Metrics enables the work-derived counter/histogram snapshot in
 	// Result.Metrics (see there for the determinism contract).
 	Metrics bool
+	// Probe enables the probe-replay stage: every reconstructed message is
+	// replayed against a simulated cloud built from the device's spec and
+	// classified for exploitability. Nil (the default) skips the stage
+	// entirely, leaving the report byte-identical to a probe-less build.
+	Probe *probe.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -238,6 +251,11 @@ func (o Options) Fingerprint() string {
 		fmt.Fprintf(&b, "lint-rules=%v;", rules)
 	}
 	fmt.Fprintf(&b, "metrics=%t;", o.Metrics)
+	if o.Probe != nil {
+		// Folded in only when the stage runs, so probe-less cache keys are
+		// unchanged across the probe stage's introduction.
+		fmt.Fprintf(&b, "probe=%s;", o.Probe.Fingerprint())
+	}
 	return b.String()
 }
 

@@ -50,6 +50,21 @@ var (
 	// budget ran out.
 	ErrProbeExhausted = errors.New("probe retries exhausted")
 
+	// ErrBreakerOpen marks a probe abandoned because the caller's budget
+	// expired while the per-cloud circuit breaker was open. The breaker
+	// delays probes instead of failing them, so this surfaces only when
+	// the wait outlives the probe's own deadline.
+	ErrBreakerOpen = errors.New("probe circuit breaker open")
+
+	// ErrNoCloudSpec marks a probe stage skipped because no simulated-cloud
+	// spec is known for the device; the static analysis stands, only the
+	// replay confirmation is missing.
+	ErrNoCloudSpec = errors.New("no cloud spec for device")
+
+	// ErrCloudUnavailable marks a probe stage abandoned because the
+	// simulated cloud failed to start (listener exhaustion and the like).
+	ErrCloudUnavailable = errors.New("simulated cloud unavailable")
+
 	// ErrCacheCorrupt marks an on-disk analysis-cache entry that failed its
 	// integrity check. The entry is discarded and the image re-analyzed —
 	// a corrupt cache is a miss plus a note, never a failure.
@@ -69,6 +84,9 @@ var sentinels = []struct {
 	{ErrConfigSkipped, "config-skipped"},
 	{ErrNoDeviceCloudExecutable, "no-device-cloud-executable"},
 	{ErrProbeExhausted, "probe-exhausted"},
+	{ErrBreakerOpen, "breaker-open"},
+	{ErrNoCloudSpec, "no-cloud-spec"},
+	{ErrCloudUnavailable, "cloud-unavailable"},
 	{ErrCacheCorrupt, "cache-corrupt"},
 }
 

@@ -5,6 +5,8 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // AuthFunc decides a CONNECT attempt; it returns an MQTT connect return
@@ -24,17 +26,43 @@ type PublishRecord struct {
 	Allowed  bool
 }
 
+// Disruption describes the chaos applied to one broker session. The zero
+// value disturbs nothing.
+type Disruption struct {
+	ConnectDelay time.Duration // delay before the CONNACK is sent
+	RejectConn   bool          // sever the connection instead of answering CONNECT
+	DropAfter    int           // sever before processing the Nth post-CONNECT packet (1 drops the first publish; 0 = never)
+}
+
+// ChaosFunc computes the disruption for a new session from its CONNECT
+// identity. Fault-injection layers key on the username (probe ID) or client
+// ID so the decision is deterministic per session, not per arrival order.
+type ChaosFunc func(clientID, username string) Disruption
+
+// DefaultDrainTimeout bounds Close's in-flight publish drain when the
+// broker has no explicit DrainTimeout.
+const DefaultDrainTimeout = 2 * time.Second
+
 // Broker is a minimal MQTT 3.1.1 broker.
 type Broker struct {
-	Auth    AuthFunc
-	OnPub   PublishFunc
-	ln      net.Listener
-	mu      sync.Mutex
-	subs    map[string][]*session // topic filter -> sessions
-	conns   map[net.Conn]bool     // every live connection, for shutdown
-	records []PublishRecord
-	wg      sync.WaitGroup
-	closed  bool
+	Auth  AuthFunc
+	OnPub PublishFunc
+	// Chaos, when non-nil, is consulted once per accepted connection and
+	// its Disruption applied to the session — the fault-injection hook the
+	// probe chaos layer drives. Set before Listen.
+	Chaos ChaosFunc
+	// DrainTimeout bounds how long Close waits for in-flight publishes to
+	// flush before severing connections; 0 means DefaultDrainTimeout.
+	DrainTimeout time.Duration
+
+	ln       net.Listener
+	mu       sync.Mutex
+	subs     map[string][]*session // topic filter -> sessions
+	conns    map[net.Conn]bool     // every live connection, for shutdown
+	records  []PublishRecord
+	wg       sync.WaitGroup
+	inflight atomic.Int64 // publishes currently being routed
+	closed   bool
 }
 
 type session struct {
@@ -72,21 +100,41 @@ func (b *Broker) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the broker, severs every live connection, and waits for the
-// connection handlers to finish.
+// Close stops the broker gracefully: it stops accepting new connections,
+// waits up to DrainTimeout for publishes already being routed to flush to
+// their subscribers, then severs the remaining connections and waits for
+// every handler goroutine to finish. Idempotent.
 func (b *Broker) Close() error {
 	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return nil
+	}
 	b.closed = true
 	ln := b.ln
-	conns := make([]net.Conn, 0, len(b.conns))
-	for c := range b.conns {
-		conns = append(conns, c)
-	}
 	b.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
+	// Bounded drain. Clients may keep publishing on live sessions while we
+	// drain, so this can stay non-zero indefinitely — the deadline, not the
+	// counter, decides when to start severing.
+	timeout := b.DrainTimeout
+	if timeout <= 0 {
+		timeout = DefaultDrainTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	for b.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	b.mu.Lock()
+	conns := make([]net.Conn, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.mu.Unlock()
 	for _, c := range conns {
 		c.Close()
 	}
@@ -135,19 +183,35 @@ func (b *Broker) handle(conn net.Conn) {
 	if err != nil || first.Type != CONNECT {
 		return
 	}
+	var disrupt Disruption
+	if b.Chaos != nil {
+		disrupt = b.Chaos(first.ClientID, first.Username)
+	}
+	if disrupt.ConnectDelay > 0 {
+		time.Sleep(disrupt.ConnectDelay)
+	}
+	if disrupt.RejectConn {
+		return // deferred conn.Close: the client sees a reset, not a CONNACK
+	}
 	rc := b.Auth(first.ClientID, first.Username, first.Password)
 	sess := &session{conn: conn, clientID: first.ClientID}
 	if err := sess.send(&Packet{Type: CONNACK, ReturnCode: rc}); err != nil || rc != ConnAccepted {
 		return
 	}
 	defer b.dropSession(sess)
+	packets := 0
 	for {
 		p, err := ReadPacket(conn)
 		if err != nil {
 			return
 		}
+		packets++
+		if disrupt.DropAfter > 0 && packets >= disrupt.DropAfter {
+			return // mid-session disconnect: the packet is read but never processed
+		}
 		switch p.Type {
 		case PUBLISH:
+			b.inflight.Add(1)
 			allowed := b.OnPub(sess.clientID, p.Topic, p.Payload)
 			b.mu.Lock()
 			b.records = append(b.records, PublishRecord{
@@ -168,6 +232,7 @@ func (b *Broker) handle(conn net.Conn) {
 					_ = t.send(&Packet{Type: PUBLISH, Topic: p.Topic, Payload: p.Payload})
 				}
 			}
+			b.inflight.Add(-1)
 		case SUBSCRIBE:
 			b.mu.Lock()
 			for _, topic := range p.Topics {
@@ -222,11 +287,22 @@ type Client struct {
 }
 
 // Dial connects and authenticates; a non-accepted return code is an error
-// carrying the code.
+// carrying the code. No deadline: see DialTimeout for a bounded handshake.
 func Dial(addr, clientID, username, password string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, clientID, username, password, 0)
+}
+
+// DialTimeout is Dial with a deadline covering the TCP connect and the
+// CONNECT/CONNACK handshake; d <= 0 means no deadline. The deadline is
+// cleared once the session is established — bound later operations with
+// SetDeadline.
+func DialTimeout(addr, clientID, username, password string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
 	if err != nil {
 		return nil, fmt.Errorf("mqtt: dial: %w", err)
+	}
+	if d > 0 {
+		_ = conn.SetDeadline(time.Now().Add(d))
 	}
 	c := &Client{conn: conn}
 	err = WritePacket(conn, &Packet{
@@ -249,8 +325,13 @@ func Dial(addr, clientID, username, password string) (*Client, error) {
 		conn.Close()
 		return nil, &ConnRefusedError{Code: ack.ReturnCode}
 	}
+	_ = conn.SetDeadline(time.Time{})
 	return c, nil
 }
+
+// SetDeadline bounds subsequent reads and writes on the session; the zero
+// time clears it.
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
 // ConnRefusedError reports a rejected CONNECT.
 type ConnRefusedError struct{ Code uint8 }

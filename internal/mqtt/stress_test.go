@@ -2,6 +2,7 @@ package mqtt
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -106,6 +107,80 @@ func TestBrokerSubscriberReceivesAll(t *testing.T) {
 			t.Fatalf("unexpected packet %+v", p)
 		}
 		seen[p.Payload[0]] = true
+	}
+}
+
+// TestBrokerCloseDuringPublishStorm fires Close in the middle of a
+// publish storm: the bounded drain must flush or sever every in-flight
+// publish, Close must return within the drain budget, a second Close must
+// be a no-op, and no handler goroutines may survive.
+func TestBrokerCloseDuringPublishStorm(t *testing.T) {
+	before := runtime.NumGoroutine()
+	b := NewBroker()
+	b.DrainTimeout = 500 * time.Millisecond
+	addr, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const publishers = 12
+	var wg sync.WaitGroup
+	for i := 0; i < publishers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr, fmt.Sprintf("storm-%d", i), "", "")
+			if err != nil {
+				return // broker may already be closing: acceptable
+			}
+			defer c.conn.Close()
+			// Publish until the broker goes away; errors are the expected
+			// way out, but they must be errors — never a hang or a panic.
+			for j := 0; ; j++ {
+				c.conn.SetDeadline(time.Now().Add(2 * time.Second))
+				if err := c.Publish(fmt.Sprintf("/storm/%d", i), []byte{byte(j)}); err != nil {
+					return
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(20 * time.Millisecond) // let the storm develop
+	closed := make(chan error, 1)
+	go func() { closed <- b.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung mid-storm; drain must be bounded")
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publishers hung after broker close")
+	}
+
+	// Records already routed when Close fired must have been preserved.
+	for _, r := range b.Records() {
+		if !r.Allowed {
+			t.Errorf("storm publish on %s denied by permissive broker", r.Topic)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines: %d before, %d after close — handler leak", before, after)
 	}
 }
 

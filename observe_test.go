@@ -105,7 +105,7 @@ func TestGoldenReportsTraced(t *testing.T) {
 // and at least one inner-loop grandchild per stage that has one.
 func TestTraceSpansCoverEveryStage(t *testing.T) {
 	var col spanCollector
-	report, err := AnalyzeImage(packedDevice(t, 17), WithLint(), WithObserver(&col))
+	report, err := AnalyzeImage(packedDevice(t, 17), WithLint(), WithProbe(), WithObserver(&col))
 	if err != nil {
 		t.Fatalf("AnalyzeImage: %v", err)
 	}
@@ -126,6 +126,7 @@ func TestTraceSpansCoverEveryStage(t *testing.T) {
 		"build-message", // concatenate-fields: per tree
 		"check-form",    // check-forms: per message
 		"lint-fn",       // lint-passes: per function
+		"probe",         // probe-replay: per message probe
 	} {
 		if names[inner] == 0 {
 			t.Errorf("no %q inner-loop span recorded (names: %v)", inner, names)

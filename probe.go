@@ -1,0 +1,171 @@
+package firmres
+
+// FirmProbe: the §V replay loop as an opt-in pipeline stage. After the
+// static analysis reconstructs a device's messages, WithProbe spins up a
+// simulated flawed cloud from the device's spec, replays every message
+// against it over HTTP and MQTT on a bounded prober fleet, and classifies
+// each one — validity from the cloud's answer (§V-C), exploitability from
+// an attacker-variant replay (§V-D). WithProbeChaos additionally injects
+// seeded, deterministic faults (latency, resets, drops, 5xx bursts, MQTT
+// disconnects, slow-loris) in front of the cloud so the fleet's fault
+// tolerance is exercised end to end: identical seeds yield byte-identical
+// probe reports at any prober count.
+
+import (
+	"fmt"
+	"time"
+
+	"firmres/internal/cloud"
+	"firmres/internal/cloud/chaos"
+	"firmres/internal/cloud/probe"
+	"firmres/internal/corpus"
+)
+
+// Probe terminal classifications: every probed message ends in exactly one.
+const (
+	ProbeGranted = probe.ClassGranted // attacker variant granted: exploitable
+	ProbeDenied  = probe.ClassDenied  // attacker variant refused
+	ProbeInvalid = probe.ClassInvalid // cloud did not understand the message
+	ProbeFailed  = probe.ClassFailed  // probe failed after retries (typed ErrorKind)
+)
+
+// ProbeAttempt is one replay outcome (device-identity or attacker variant).
+type ProbeAttempt struct {
+	Class   string // response class ("Request OK", "Access Denied", ...)
+	Status  int    `json:",omitempty"` // HTTP status, 0 for MQTT
+	Valid   bool   // the cloud understood the message (§V-C)
+	Granted bool   // access was granted
+}
+
+// ProbeOutcome is the terminal result for one reconstructed message.
+type ProbeOutcome struct {
+	Function       string
+	Context        string        `json:",omitempty"`
+	Transport      string        // "http" or "mqtt"
+	Route          string        `json:",omitempty"` // path, query route, or topic
+	Classification string        // ProbeGranted / ProbeDenied / ProbeInvalid / ProbeFailed
+	Validity       *ProbeAttempt `json:",omitempty"`
+	Attack         *ProbeAttempt `json:",omitempty"`
+	Vulnerable     bool          `json:",omitempty"` // §V-D confirmation
+	Leaks          []string      `json:",omitempty"` // credentials leaked by the granted response
+	ErrorKind      string        `json:",omitempty"` // taxonomy slug of a failed probe
+}
+
+// ProbeReport is the per-device exploitability report of the probe stage.
+type ProbeReport struct {
+	Probed     int            // messages probed (always all of them)
+	Vulnerable int            // messages confirmed exploitable
+	Counts     map[string]int // terminal class -> count
+	Outcomes   []ProbeOutcome
+}
+
+func probeReportOf(rep *probe.Report) *ProbeReport {
+	out := &ProbeReport{
+		Probed:     rep.Probed,
+		Vulnerable: rep.Vulnerable,
+		Counts:     rep.Counts,
+	}
+	for _, o := range rep.Outcomes {
+		po := ProbeOutcome{
+			Function:       o.Function,
+			Context:        o.Context,
+			Transport:      o.Transport,
+			Route:          o.Route,
+			Classification: o.Classification,
+			Vulnerable:     o.Vulnerable,
+			Leaks:          o.Leaks,
+			ErrorKind:      o.ErrorKind,
+		}
+		if o.Validity != nil {
+			a := ProbeAttempt(*o.Validity)
+			po.Validity = &a
+		}
+		if o.Attack != nil {
+			a := ProbeAttempt(*o.Attack)
+			po.Attack = &a
+		}
+		out.Outcomes = append(out.Outcomes, po)
+	}
+	return out
+}
+
+// ensureProbe lazily installs the probe stage configuration with the corpus
+// spec resolver, so the WithProbe* options compose in any order.
+func ensureProbe(c *config) *probe.Options {
+	if c.opts.Probe == nil {
+		c.opts.Probe = &probe.Options{
+			Resolver: "corpus",
+			SpecFor:  corpusSpecFor,
+		}
+	}
+	return c.opts.Probe
+}
+
+// corpusSpecFor resolves the simulated-cloud spec for a corpus device by
+// its report identity.
+func corpusSpecFor(device, version string) *cloud.Spec {
+	for _, d := range corpus.Devices() {
+		if device == d.Vendor+" "+d.Model && version == d.Version {
+			return corpus.CloudSpec(d)
+		}
+	}
+	return nil
+}
+
+// WithProbe enables the probe-replay stage: every reconstructed message is
+// replayed against a simulated cloud built from the device's corpus spec
+// and terminally classified (see Report.Probe). Devices with no known spec
+// degrade with a Report.Errors note instead of failing.
+func WithProbe() Option {
+	return func(c *config) { ensureProbe(c) }
+}
+
+// WithProbeChaos enables WithProbe and injects seeded deterministic faults
+// in front of the simulated cloud. Modes: "latency", "reset", "drop",
+// "5xx", "slowloris"; "all" (or no names) enables every mode. An unknown
+// mode fails the analysis with a configuration error. Compose with
+// WithProbeSeed in either order.
+func WithProbeChaos(modes ...string) Option {
+	return func(c *config) {
+		po := ensureProbe(c)
+		var seed int64
+		if po.Chaos != nil {
+			seed = po.Chaos.Seed
+		}
+		cfg, ok := chaos.ForModes(seed, modes...)
+		if !ok {
+			c.err = fmt.Errorf("firmres: unknown probe chaos mode in %v (have %v)", modes, chaos.Modes())
+			return
+		}
+		po.Chaos = &cfg
+	}
+}
+
+// ProbeChaosModes lists the selectable chaos fault modes.
+func ProbeChaosModes() []string { return chaos.Modes() }
+
+// WithProbeSeed enables WithProbe and pins the chaos fault schedule's seed:
+// identical seeds produce byte-identical probe reports. Without
+// WithProbeChaos the seed is recorded but no faults are injected.
+func WithProbeSeed(seed int64) Option {
+	return func(c *config) {
+		po := ensureProbe(c)
+		if po.Chaos == nil {
+			po.Chaos = &chaos.Config{}
+		}
+		po.Chaos.Seed = seed
+	}
+}
+
+// WithProbeProbers enables WithProbe and bounds the concurrent probers per
+// device (default 8). Reports are byte-identical at any count.
+func WithProbeProbers(n int) Option {
+	return func(c *config) { ensureProbe(c).Probers = n }
+}
+
+// WithProbeTimeout enables WithProbe and bounds one probe attempt on either
+// transport (default 1s). The chaos layer's slow-loris hold auto-scales to
+// stay above it.
+func WithProbeTimeout(d time.Duration) Option {
+	return func(c *config) { ensureProbe(c).AttemptTimeout = d }
+}
