@@ -10,7 +10,7 @@ import (
 
 func TestRunGeneratesSingleDevice(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 17); err != nil {
+	if err := run(dir, 17, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "device17.img"))
@@ -31,14 +31,14 @@ func TestRunGeneratesSingleDevice(t *testing.T) {
 }
 
 func TestRunRejectsBadDevice(t *testing.T) {
-	if err := run(t.TempDir(), 99); err == nil {
+	if err := run(t.TempDir(), 99, false); err == nil {
 		t.Error("device 99 accepted")
 	}
 }
 
 func TestRunAllDevices(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 0); err != nil {
+	if err := run(dir, 0, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -47,5 +47,23 @@ func TestRunAllDevices(t *testing.T) {
 	}
 	if len(entries) != 23 { // 22 images + MANIFEST
 		t.Errorf("generated %d files, want 23", len(entries))
+	}
+}
+
+func TestRunStrippedTwins(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 17, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "device17.stripped.img"))
+	if err != nil {
+		t.Fatalf("read stripped image: %v", err)
+	}
+	img, err := image.Unpack(data)
+	if err != nil {
+		t.Fatalf("unpack stripped: %v", err)
+	}
+	if img.Device != "Cubetoou T9" {
+		t.Errorf("device = %q", img.Device)
 	}
 }

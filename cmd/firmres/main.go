@@ -5,7 +5,7 @@
 // Usage:
 //
 //	firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N]
-//	        [-lint] [-lint-rules r1,r2] [-lint-json] [-timings]
+//	        [-lint] [-lint-rules r1,r2] [-lint-json] [-timings] [-stripped]
 //	        [-probe] [-probe-chaos modes] [-probe-seed n] [-probe-probers n]
 //	        [-trace] [-trace-json file] [-metrics file] [-progress]
 //	        [-cache dir] [-cache-max-bytes n] [-no-cache] [-cache-clear]
@@ -24,6 +24,13 @@
 // the run (with no images, it just clears and exits), and -no-cache
 // disables caching even when -cache is given. Cached output is
 // byte-identical to a fresh analysis.
+//
+// Stripped firmware: -stripped forces the symbol-recovery pass — function
+// boundaries, string constants, and extern identities are rebuilt before
+// analysis (the pass also engages automatically on binaries that arrive
+// without a symbol table). The report gains a recovery section listing the
+// per-extern bindings and their confidence; -stripped changes the cache key,
+// so symbol-full cached results are never served for a stripped run.
 //
 // Probing: -probe replays every reconstructed message against a simulated
 // cloud built from the device's corpus spec and reports per-message
@@ -77,6 +84,7 @@ type options struct {
 	lintRules    string
 	lintJSON     bool
 	timings      bool
+	stripped     bool
 	probe        bool
 	probeChaos   string
 	probeSeed    int64
@@ -117,6 +125,8 @@ func run() int {
 		"emit lint diagnostics as a SARIF 2.1.0 document instead of the text report (implies -lint)")
 	flag.BoolVar(&opts.timings, "timings", false,
 		"print the per-stage timing breakdown in the text report")
+	flag.BoolVar(&opts.stripped, "stripped", false,
+		"force symbol recovery for stripped firmware (auto-detected for binaries without symbol tables)")
 	flag.BoolVar(&opts.probe, "probe", false,
 		"replay reconstructed messages against a simulated cloud and report exploitability")
 	flag.StringVar(&opts.probeChaos, "probe-chaos", "",
@@ -162,7 +172,7 @@ func run() int {
 		}
 	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N] [-lint] [-lint-rules r1,r2] [-lint-json] [-timings] [-probe] [-probe-chaos modes] [-probe-seed n] [-probe-probers n] [-trace] [-trace-json file] [-metrics file] [-progress] [-cache dir] [-cache-max-bytes n] [-no-cache] [-cache-clear] [-pprof addr] image.img ...")
+		fmt.Fprintln(os.Stderr, "usage: firmres [-model file] [-json] [-stage-timeout d] [-keep-going] [-j N] [-lint] [-lint-rules r1,r2] [-lint-json] [-timings] [-stripped] [-probe] [-probe-chaos modes] [-probe-seed n] [-probe-probers n] [-trace] [-trace-json file] [-metrics file] [-progress] [-cache dir] [-cache-max-bytes n] [-no-cache] [-cache-clear] [-pprof addr] image.img ...")
 		return exitUsage
 	}
 	if opts.pprofAddr != "" {
@@ -360,6 +370,9 @@ func apiOptions(opts options) []firmres.Option {
 	} else if opts.lint || opts.lintJSON {
 		apiOpts = append(apiOpts, firmres.WithLint())
 	}
+	if opts.stripped {
+		apiOpts = append(apiOpts, firmres.WithStrippedMode())
+	}
 	if opts.cacheEnabled() {
 		apiOpts = append(apiOpts, firmres.WithCache(opts.cacheDir))
 		if opts.cacheMax > 0 {
@@ -450,6 +463,20 @@ func printReport(w io.Writer, path string, r *firmres.Report, opts options) {
 		}
 	}
 	fmt.Fprintf(w, "   %d messages reconstructed, %d flagged\n", len(r.Messages), flagged)
+	if rec := r.Recovery; rec != nil {
+		fmt.Fprintf(w, "   recovery (%s): %d functions, %d strings, %d/%d externs bound\n",
+			rec.Binary, rec.FuncsRecovered, rec.StringsRecovered, rec.ExternsBound, rec.ExternsTotal)
+		for _, b := range rec.Bindings {
+			name := b.Name
+			if name == "" {
+				name = "(unbound)"
+			}
+			fmt.Fprintf(w, "     - import#%-3d %-26s conf=%.2f  %s\n", b.Import, name, b.Confidence, b.Evidence)
+		}
+		for _, n := range rec.Notes {
+			fmt.Fprintf(w, "     note: %s\n", n)
+		}
+	}
 	if opts.lint || opts.lintRules != "" {
 		if len(r.Diagnostics) == 0 {
 			fmt.Fprintf(w, "   lint: clean\n")

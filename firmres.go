@@ -126,6 +126,41 @@ type Report struct {
 	// under WithProbe; probe-less reports are byte-identical to builds
 	// without the stage.
 	Probe *ProbeReport `json:",omitempty"`
+	// Recovery describes the symbol-free recovery pass over the identified
+	// executable: function boundaries rebuilt, string constants rediscovered,
+	// and extern identities bound by behavioral signature, each binding with
+	// a confidence score. Populated only when the executable arrived
+	// stripped (or WithStrippedMode forced the pass and it had work to do);
+	// symbol-full reports stay byte-identical. When a stripped verdict
+	// diverges from its symbol-full twin, the low-confidence bindings and
+	// notes here are the explanation.
+	Recovery *RecoveryReport `json:",omitempty"`
+}
+
+// RecoveryBinding records how one stripped import was identified — or why
+// it was left unbound.
+type RecoveryBinding struct {
+	Import     int     `json:"import"`             // import-table index
+	Name       string  `json:"name,omitempty"`     // bound extern name, "" when unbound
+	Arity      int     `json:"arity"`              // observed callsite arity
+	Sites      int     `json:"sites"`              // callsites observed
+	Confidence float64 `json:"confidence"`         // 0..1, margin-normalized
+	Evidence   string  `json:"evidence,omitempty"` // human-readable rationale
+}
+
+// RecoveryReport summarizes the symbol-free recovery pass (WithStrippedMode)
+// over the identified executable.
+type RecoveryReport struct {
+	Binary           string            `json:"binary"`
+	FuncsRecovered   int               `json:"funcs_recovered"`
+	StringsRecovered int               `json:"strings_recovered"`
+	ExternsTotal     int               `json:"externs_total"`
+	ExternsBound     int               `json:"externs_bound"`
+	Bindings         []RecoveryBinding `json:"bindings,omitempty"`
+	// Confidence is the binding-confidence histogram, bucket label
+	// ("0.8-1.0", ...) to count.
+	Confidence map[string]int `json:"confidence,omitempty"`
+	Notes      []string       `json:"notes,omitempty"`
 }
 
 // Partial reports whether the analysis degraded — some executables or
@@ -253,6 +288,18 @@ func WithLint() Option {
 	return func(c *config) { c.opts.Lint = true }
 }
 
+// WithStrippedMode declares the corpus symbol-stripped: every candidate
+// executable runs the symbol-free recovery pass (function-boundary
+// recovery, string rediscovery, signature-based extern identification)
+// before lifting, and the mode is folded into the analysis-cache
+// fingerprint. Binaries that arrive without function symbols or with
+// nameless imports are recovered automatically even without this option;
+// on symbol-full binaries the pass is a no-op, so symbol-full reports are
+// unchanged either way. The pass's outcome is reported in Report.Recovery.
+func WithStrippedMode() Option {
+	return func(c *config) { c.opts.Stripped = true }
+}
+
 // WithLintRules enables the lint-pass stage restricted to the named rules.
 // An unknown rule name fails the analysis with a configuration error.
 func WithLintRules(rules ...string) Option {
@@ -335,6 +382,28 @@ func reportOf(res *core.Result) *Report {
 	}
 	if res.Probe != nil {
 		r.Probe = probeReportOf(res.Probe)
+	}
+	if res.Recovery != nil {
+		rec := &RecoveryReport{
+			Binary:           res.Recovery.Binary,
+			FuncsRecovered:   res.Recovery.FuncsRecovered,
+			StringsRecovered: res.Recovery.StringsRecovered,
+			ExternsTotal:     res.Recovery.ExternsTotal,
+			ExternsBound:     res.Recovery.ExternsBound,
+			Confidence:       res.Recovery.Confidence,
+			Notes:            res.Recovery.Notes,
+		}
+		for _, b := range res.Recovery.Bindings {
+			rec.Bindings = append(rec.Bindings, RecoveryBinding{
+				Import:     b.Import,
+				Name:       b.Name,
+				Arity:      b.Arity,
+				Sites:      b.Sites,
+				Confidence: b.Confidence,
+				Evidence:   b.Evidence,
+			})
+		}
+		r.Recovery = rec
 	}
 	for s := core.StagePinpoint; s < core.Stage(len(res.Timing)); s++ {
 		r.StageTimings[s.String()] = res.Timing[s]

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 
+	"firmres/internal/errdefs"
 	"firmres/internal/isa"
 )
 
@@ -103,10 +104,48 @@ type Binary struct {
 	Funcs    []FuncSym
 	DataSyms []DataSym
 	Vars     []LocalVar
+
+	// idx accelerates FuncAt/FuncByName. It is built eagerly by Unmarshal
+	// and SortSymbols (never lazily, so concurrent readers see a fixed
+	// pointer); code that mutates Funcs afterwards must call SortSymbols to
+	// rebuild it. A nil idx falls back to the original linear scans.
+	idx *symIndex
+}
+
+// symIndex is the derived lookup structure over the function symbol table.
+type symIndex struct {
+	byAddr []FuncSym      // address-sorted copy for binary search
+	byName map[string]int // name -> first index in Funcs
+}
+
+// buildIndex (re)derives the lookup index from the current symbol table.
+func (b *Binary) buildIndex() {
+	ix := &symIndex{
+		byAddr: append([]FuncSym(nil), b.Funcs...),
+		byName: make(map[string]int, len(b.Funcs)),
+	}
+	sort.SliceStable(ix.byAddr, func(i, j int) bool { return ix.byAddr[i].Addr < ix.byAddr[j].Addr })
+	for i, f := range b.Funcs {
+		if _, dup := ix.byName[f.Name]; !dup {
+			ix.byName[f.Name] = i
+		}
+	}
+	b.idx = ix
 }
 
 // FuncAt returns the function symbol covering the given address, if any.
 func (b *Binary) FuncAt(addr uint32) (FuncSym, bool) {
+	if ix := b.idx; ix != nil {
+		// First symbol starting after addr; its predecessor is the only
+		// candidate that can cover addr (ranges are non-overlapping).
+		i := sort.Search(len(ix.byAddr), func(i int) bool { return ix.byAddr[i].Addr > addr })
+		if i > 0 {
+			if f := ix.byAddr[i-1]; addr < f.End() {
+				return f, true
+			}
+		}
+		return FuncSym{}, false
+	}
 	for _, f := range b.Funcs {
 		if addr >= f.Addr && addr < f.End() {
 			return f, true
@@ -117,6 +156,12 @@ func (b *Binary) FuncAt(addr uint32) (FuncSym, bool) {
 
 // FuncByName returns the function symbol with the given name, if any.
 func (b *Binary) FuncByName(name string) (FuncSym, bool) {
+	if ix := b.idx; ix != nil {
+		if i, ok := ix.byName[name]; ok {
+			return b.Funcs[i], true
+		}
+		return FuncSym{}, false
+	}
 	for _, f := range b.Funcs {
 		if f.Name == name {
 			return f, true
@@ -252,11 +297,56 @@ func (b *Binary) Validate() error {
 	return nil
 }
 
-// SortSymbols orders function and data symbols by address; analyses assume
-// this order for binary search and deterministic iteration.
+// SortSymbols orders function and data symbols by address and rebuilds the
+// lookup index; analyses assume this order for binary search and
+// deterministic iteration. Code that mutates Funcs (the stripped-mode
+// recovery pass) must call this afterwards so stale index entries never
+// survive a rewrite.
 func (b *Binary) SortSymbols() {
 	sort.Slice(b.Funcs, func(i, j int) bool { return b.Funcs[i].Addr < b.Funcs[j].Addr })
 	sort.Slice(b.DataSyms, func(i, j int) bool { return b.DataSyms[i].Addr < b.DataSyms[j].Addr })
+	b.buildIndex()
+}
+
+// CheckFuncOverlap reports the first pair of function symbols whose address
+// ranges overlap (or duplicate each other). Zero-size symbols cannot overlap
+// anything.
+func CheckFuncOverlap(funcs []FuncSym) error {
+	sorted := append([]FuncSym(nil), funcs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+	for i := 1; i < len(sorted); i++ {
+		prev, cur := sorted[i-1], sorted[i]
+		if prev.Size == 0 || cur.Size == 0 {
+			continue
+		}
+		if cur.Addr < prev.End() {
+			return fmt.Errorf("%w: %q [%#x,%#x) and %q [%#x,%#x)",
+				errdefs.ErrOverlappingSymbols,
+				prev.Name, prev.Addr, prev.End(), cur.Name, cur.Addr, cur.End())
+		}
+	}
+	return nil
+}
+
+// Strip returns a symbol-free copy of the binary, modeling a stripped
+// firmware executable: the function symbol table, data-object symbols, and
+// debug variable records are dropped, and import entries keep only their
+// observable calling convention (result use) — names and declared arities
+// are gone, exactly what a stripped ELF's PLT stubs would reveal. NumParams
+// is set to -1 (externs.Variadic), so the lifter falls back to the
+// per-callsite arity encoded in the instruction stream.
+func (b *Binary) Strip() *Binary {
+	s := &Binary{
+		Name:     b.Name,
+		TextBase: b.TextBase,
+		Text:     append([]byte(nil), b.Text...),
+		DataBase: b.DataBase,
+		Data:     append([]byte(nil), b.Data...),
+	}
+	for _, imp := range b.Imports {
+		s.Imports = append(s.Imports, Import{NumParams: -1, HasResult: imp.HasResult})
+	}
+	return s
 }
 
 const (
@@ -461,6 +551,12 @@ func Unmarshal(raw []byte) (*Binary, error) {
 			// Unknown sections are skipped for forward compatibility.
 		}
 	}
+	// Reject ambiguous symbol tables instead of letting FuncAt pick an
+	// arbitrary winner among overlapping ranges.
+	if err := CheckFuncOverlap(b.Funcs); err != nil {
+		return nil, fmt.Errorf("binfmt: funcs: %w", err)
+	}
+	b.buildIndex()
 	return b, nil
 }
 

@@ -42,6 +42,9 @@ func sample() *Binary {
 func TestMarshalUnmarshalRoundTrip(t *testing.T) {
 	want := sample()
 	raw := want.Marshal()
+	// Unmarshal builds the lookup index eagerly; build the same index on the
+	// expectation so DeepEqual compares equal index contents.
+	want.SortSymbols()
 	got, err := Unmarshal(raw)
 	if err != nil {
 		t.Fatalf("Unmarshal: %v", err)

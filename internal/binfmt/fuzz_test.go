@@ -36,6 +36,16 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add([]byte(Magic))
 	// Garbage behind a valid magic.
 	f.Add(append([]byte(Magic), 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03))
+	// Symbol-stripped twin: empty func/datasym/var tables, anonymized
+	// imports (NumParams -1 exercises the signed arity round-trip).
+	f.Add(fuzzSeedBinary().Strip().Marshal())
+	// Stripped and truncated mid-section.
+	stripped := fuzzSeedBinary().Strip().Marshal()
+	f.Add(stripped[:len(stripped)-5])
+	// Partially stripped: function symbols gone but named imports intact.
+	partial := fuzzSeedBinary()
+	partial.Funcs, partial.Vars = nil, nil
+	f.Add(partial.Marshal())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := Unmarshal(data)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"firmres/internal/binfmt"
@@ -17,11 +18,13 @@ import (
 	"firmres/internal/image"
 	"firmres/internal/lint"
 	"firmres/internal/mft"
+	"firmres/internal/nvram"
 	"firmres/internal/obs"
 	"firmres/internal/parallel"
 	"firmres/internal/pcode"
 	"firmres/internal/semantics"
 	"firmres/internal/slices"
+	"firmres/internal/strip"
 	"firmres/internal/taint"
 )
 
@@ -178,6 +181,7 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (r
 			if cand != nil {
 				prog, fx = cand.prog, cand.fx
 				res.Executable, res.Handlers = cand.path, cand.handlers
+				res.Recovery = cand.rec
 			}
 		}, err
 	})
@@ -380,6 +384,9 @@ type candidate struct {
 	path     string
 	handlers []identify.Handler
 	score    float64
+	// rec is the symbol-free recovery record when this executable arrived
+	// stripped; nil for symbol-full binaries.
+	rec *strip.Stats
 }
 
 // pinpoint lifts every binary executable on a bounded worker pool and
@@ -396,6 +403,7 @@ func (p *Pipeline) pinpoint(ctx context.Context, met *obs.Metrics, img *image.Im
 		}
 	}
 	met.Counter("pinpoint_candidates_total").Add(int64(len(files)))
+	hints := recoveryHints(img)
 	type slot struct {
 		cand *candidate
 		skip *errdefs.AnalysisError
@@ -403,7 +411,7 @@ func (p *Pipeline) pinpoint(ctx context.Context, met *obs.Metrics, img *image.Im
 	slots := make([]slot, len(files))
 	parallel.ForEach(ctx, p.opts.Workers, len(files), func(i int) {
 		sp := obs.StartChild(ctx, "candidate", obs.String("path", files[i].Path))
-		c, skip := p.liftCandidate(met, files[i])
+		c, skip := p.liftCandidate(ctx, met, files[i], hints)
 		switch {
 		case skip != nil:
 			sp.SetStatus("skipped")
@@ -434,10 +442,10 @@ func (p *Pipeline) pinpoint(ctx context.Context, met *obs.Metrics, img *image.Im
 	return best, skips, nil
 }
 
-// liftCandidate parses, lifts, and identifies one executable with panic
-// recovery, so a pathological binary is reported as skipped instead of
-// crashing the whole analysis.
-func (p *Pipeline) liftCandidate(met *obs.Metrics, f *image.File) (cand *candidate, skip *errdefs.AnalysisError) {
+// liftCandidate parses, recovers (when stripped), lifts, and identifies one
+// executable with panic recovery, so a pathological binary is reported as
+// skipped instead of crashing the whole analysis.
+func (p *Pipeline) liftCandidate(ctx context.Context, met *obs.Metrics, f *image.File, hints strip.Hints) (cand *candidate, skip *errdefs.AnalysisError) {
 	defer func() {
 		if r := recover(); r != nil {
 			cand = nil
@@ -453,6 +461,27 @@ func (p *Pipeline) liftCandidate(met *obs.Metrics, f *image.File) (cand *candida
 			Stage: StagePinpoint.String(), Path: f.Path,
 			Err: fmt.Errorf("%w: %w: %w", errdefs.ErrExecutableSkipped, errdefs.ErrCorruptBinary, err),
 		}
+	}
+	// Symbol-free recovery: runs when the binary is missing symbol layers
+	// (auto-detection) or the operator declared the corpus stripped. On a
+	// symbol-full binary every recovery analysis is a no-op, so the pass
+	// cannot perturb symbol-full reports.
+	var rec *strip.Stats
+	if p.opts.Stripped || strip.Needed(bin) {
+		sp := obs.StartChild(ctx, "strip-recover", obs.String("path", f.Path))
+		rec = strip.Recover(bin, hints)
+		if rec.FuncsRecovered == 0 && rec.StringsRecovered == 0 && rec.ExternsTotal == 0 {
+			rec = nil // nothing was missing: keep symbol-full results untouched
+			sp.SetStatus("noop")
+		} else {
+			met.Counter("strip_funcs_recovered_total").Add(int64(rec.FuncsRecovered))
+			met.Counter("strip_strings_recovered_total").Add(int64(rec.StringsRecovered))
+			met.Counter("strip_externs_bound_total").Add(int64(rec.ExternsBound))
+			met.Counter("strip_externs_unbound_total").Add(int64(rec.ExternsTotal - rec.ExternsBound))
+			sp.AddAttr(obs.Int("funcs", rec.FuncsRecovered))
+			sp.AddAttr(obs.Int("externs-bound", rec.ExternsBound))
+		}
+		sp.End()
 	}
 	prog, err := pcode.LiftProgram(bin)
 	if err != nil {
@@ -472,5 +501,27 @@ func (p *Pipeline) liftCandidate(met *obs.Metrics, f *image.File) (cand *candida
 			score = h.Score
 		}
 	}
-	return &candidate{prog: prog, fx: fx, path: f.Path, handlers: idRes.Handlers, score: score}, nil
+	return &candidate{prog: prog, fx: fx, path: f.Path, handlers: idRes.Handlers, score: score, rec: rec}, nil
+}
+
+// recoveryHints extracts the image-level key universes that sharpen extern
+// identification on stripped binaries: NVRAM keys from nvram-shaped config
+// files, configuration keys from the rest. The same path split
+// ResolverFromImageNotes uses for message rendering.
+func recoveryHints(img *image.Image) strip.Hints {
+	h := strip.Hints{NVRAMKeys: map[string]bool{}, ConfigKeys: map[string]bool{}}
+	for _, f := range img.ConfigFiles() {
+		store, err := nvram.Parse(f.Data)
+		if err != nil {
+			continue
+		}
+		target := h.ConfigKeys
+		if strings.Contains(f.Path, "nvram") {
+			target = h.NVRAMKeys
+		}
+		for _, k := range store.Keys() {
+			target[k] = true
+		}
+	}
+	return h
 }

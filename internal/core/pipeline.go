@@ -24,6 +24,7 @@ import (
 	"firmres/internal/obs"
 	"firmres/internal/semantics"
 	"firmres/internal/slices"
+	"firmres/internal/strip"
 	"firmres/internal/taint"
 )
 
@@ -138,8 +139,14 @@ type Result struct {
 	// Probe is the §V replay report — every reconstructed message probed
 	// against a simulated cloud and terminally classified; populated only
 	// when Options.Probe is set and a cloud spec was resolved.
-	Probe  *probe.Report
-	Timing Timing
+	Probe *probe.Report
+	// Recovery records the symbol-free recovery pass over the identified
+	// executable — functions and strings rebuilt, extern bindings with
+	// confidence — populated only when the executable arrived stripped (or
+	// Options.Stripped forced the pass and it had work to do). Nil for
+	// symbol-full runs, keeping their reports byte-identical.
+	Recovery *strip.Stats
+	Timing   Timing
 	// Metrics is the snapshot of the work-derived counters and histograms
 	// one analysis collected; populated only when Options.Metrics is set.
 	// Every value derives from the work performed, never from scheduling,
@@ -208,6 +215,14 @@ type Options struct {
 	// classified for exploitability. Nil (the default) skips the stage
 	// entirely, leaving the report byte-identical to a probe-less build.
 	Probe *probe.Options
+	// Stripped forces the symbol-free recovery pass (internal/strip) on
+	// every candidate executable before lifting. The pass also runs
+	// automatically on binaries that arrive without function symbols or
+	// with nameless imports; the flag exists so operators can declare the
+	// corpus stripped up front, which folds the mode into the cache
+	// fingerprint. On symbol-full binaries the pass is a no-op either way,
+	// so symbol-full reports never change.
+	Stripped bool
 }
 
 func (o Options) withDefaults() Options {
@@ -255,6 +270,11 @@ func (o Options) Fingerprint() string {
 		// Folded in only when the stage runs, so probe-less cache keys are
 		// unchanged across the probe stage's introduction.
 		fmt.Fprintf(&b, "probe=%s;", o.Probe.Fingerprint())
+	}
+	if o.Stripped {
+		// Same fold-only-when-on rule: symbol-full cache keys stay
+		// byte-identical across the stripped mode's introduction.
+		fmt.Fprintf(&b, "stripped=true;")
 	}
 	return b.String()
 }

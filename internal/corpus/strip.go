@@ -1,0 +1,43 @@
+package corpus
+
+import (
+	"fmt"
+
+	"firmres/internal/binfmt"
+	"firmres/internal/image"
+)
+
+// BuildStrippedImage assembles the same firmware image as BuildImage, then
+// strips every binary executable of its symbol information: function
+// symbols, data symbols, variables, and import names all gone (import
+// arities anonymized to unknown). The configuration files, scripts, and
+// image layout are untouched, so the pair (BuildImage, BuildStrippedImage)
+// differs exactly in what a `strip`-processed firmware loses — the ground
+// truth the recovery-precision and stripped-golden suites measure against.
+func BuildStrippedImage(d *DeviceSpec) (*image.Image, error) {
+	img, err := BuildImage(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := StripImage(img); err != nil {
+		return nil, fmt.Errorf("corpus: device %d: %w", d.ID, err)
+	}
+	return img, nil
+}
+
+// StripImage replaces every binfmt executable in the image with its
+// symbol-stripped twin, in place. Non-binary files pass through untouched.
+func StripImage(img *image.Image) error {
+	for i := range img.Files {
+		f := &img.Files[i]
+		if !f.IsExec() || !f.IsBinary() {
+			continue
+		}
+		bin, err := binfmt.Unmarshal(f.Data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.Path, err)
+		}
+		f.Data = bin.Strip().Marshal()
+	}
+	return nil
+}

@@ -69,6 +69,12 @@ var (
 	// integrity check. The entry is discarded and the image re-analyzed —
 	// a corrupt cache is a miss plus a note, never a failure.
 	ErrCacheCorrupt = errors.New("corrupt cache entry")
+
+	// ErrOverlappingSymbols marks an executable whose function symbol table
+	// carries overlapping or duplicate address ranges. Earlier versions let
+	// FuncAt return an arbitrary winner; the parser now rejects the table so
+	// the ambiguity is surfaced instead of silently resolved.
+	ErrOverlappingSymbols = errors.New("overlapping function symbols")
 )
 
 // sentinels in display order, with their short kind slugs.
@@ -88,6 +94,7 @@ var sentinels = []struct {
 	{ErrNoCloudSpec, "no-cloud-spec"},
 	{ErrCloudUnavailable, "cloud-unavailable"},
 	{ErrCacheCorrupt, "cache-corrupt"},
+	{ErrOverlappingSymbols, "overlapping-symbols"},
 }
 
 // Kind maps an error to the short slug of the taxonomy sentinel it wraps

@@ -1,0 +1,125 @@
+package strip_test
+
+import (
+	"fmt"
+	"testing"
+
+	"firmres/internal/binfmt"
+	"firmres/internal/corpus"
+	"firmres/internal/strip"
+)
+
+// hintsFor rebuilds the key universes the pipeline extracts from a device's
+// configuration files.
+func hintsFor(d *corpus.DeviceSpec) strip.Hints {
+	h := strip.Hints{NVRAMKeys: map[string]bool{}, ConfigKeys: map[string]bool{}}
+	for _, k := range corpus.NVRAMDefaults(d).Keys() {
+		h.NVRAMKeys[k] = true
+	}
+	for _, k := range corpus.CloudConfig(d).Keys() {
+		h.ConfigKeys[k] = true
+	}
+	return h
+}
+
+// TestBoundaryRecoveryF1 is the recovery-precision gate: across every
+// binary executable of the 22-device corpus, recovered function boundaries
+// are compared against the hidden (pre-strip) symbol table as exact
+// (Addr, Size) pairs, and the aggregate F1 must stay at or above 0.95.
+func TestBoundaryRecoveryF1(t *testing.T) {
+	var tp, fp, fn int
+	for id := 1; id <= 22; id++ {
+		d := corpus.Device(id)
+		img, err := corpus.BuildImage(d)
+		if err != nil {
+			t.Fatalf("BuildImage(%d): %v", id, err)
+		}
+		h := hintsFor(d)
+		for i := range img.Files {
+			f := &img.Files[i]
+			if !f.IsExec() || !f.IsBinary() {
+				continue
+			}
+			truth, err := binfmt.Unmarshal(f.Data)
+			if err != nil {
+				t.Fatalf("device %d %s: %v", id, f.Path, err)
+			}
+			stripped := truth.Strip()
+			strip.Recover(stripped, h)
+
+			want := map[string]bool{}
+			for _, fs := range truth.Funcs {
+				want[fmt.Sprintf("%#x+%d", fs.Addr, fs.Size)] = true
+			}
+			got := map[string]bool{}
+			for _, fs := range stripped.Funcs {
+				got[fmt.Sprintf("%#x+%d", fs.Addr, fs.Size)] = true
+			}
+			for k := range got {
+				if want[k] {
+					tp++
+				} else {
+					fp++
+					t.Logf("device %d %s: spurious boundary %s", id, f.Path, k)
+				}
+			}
+			for k := range want {
+				if !got[k] {
+					fn++
+					t.Logf("device %d %s: missed boundary %s", id, f.Path, k)
+				}
+			}
+		}
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(tp+fn)
+	f1 := 2 * precision * recall / (precision + recall)
+	t.Logf("boundary recovery: tp=%d fp=%d fn=%d precision=%.4f recall=%.4f F1=%.4f",
+		tp, fp, fn, precision, recall, f1)
+	if f1 < 0.95 {
+		t.Errorf("boundary-recovery F1 = %.4f, gate requires >= 0.95", f1)
+	}
+}
+
+// TestExternBindingAccuracy measures name-level extern identification
+// against the hidden import tables. Name mismatches are tolerated only
+// within behavior-equivalent families (the report explains them via
+// tie-break notes); this test asserts the overall binding rate stays high
+// enough to keep verdict parity meaningful.
+func TestExternBindingAccuracy(t *testing.T) {
+	var exact, bound, total int
+	for id := 1; id <= 22; id++ {
+		d := corpus.Device(id)
+		img, err := corpus.BuildImage(d)
+		if err != nil {
+			t.Fatalf("BuildImage(%d): %v", id, err)
+		}
+		h := hintsFor(d)
+		for i := range img.Files {
+			f := &img.Files[i]
+			if !f.IsExec() || !f.IsBinary() {
+				continue
+			}
+			truth, _ := binfmt.Unmarshal(f.Data)
+			stripped := truth.Strip()
+			strip.Recover(stripped, h)
+			for j := range truth.Imports {
+				total++
+				if stripped.Imports[j].Name == "" {
+					continue
+				}
+				bound++
+				if stripped.Imports[j].Name == truth.Imports[j].Name {
+					exact++
+				} else {
+					t.Logf("device %d %s import#%d: bound %q, truth %q",
+						id, f.Path, j, stripped.Imports[j].Name, truth.Imports[j].Name)
+				}
+			}
+		}
+	}
+	t.Logf("extern binding: %d/%d bound, %d/%d exact names", bound, total, exact, total)
+	if float64(exact)/float64(total) < 0.80 {
+		t.Errorf("exact extern naming %d/%d below 80%%", exact, total)
+	}
+}

@@ -57,6 +57,10 @@ go test -run 'TestGoldenReportsTraced|TestTraceSpansCoverEveryStage|TestBatchMet
 echo "== persistent cache (cold/warm goldens byte-identical, single-flight under -race)"
 go test -race -run 'TestGoldenReportsCached|TestCacheBatchSingleFlight' .
 
+echo "== stripped-mode recovery (goldens, verdict parity, boundary F1 gate)"
+go test -run 'TestStrippedGoldenReports|TestStrippedVerdictParity' .
+go test -run 'TestBoundaryRecoveryF1|TestExternBindingAccuracy' ./internal/strip
+
 echo "== probe stage + chaos layer (terminal classification, seed determinism, under -race)"
 go test -race ./internal/cloud/probe ./internal/cloud/chaos
 go test -race -run 'TestProbeGoldenReports|TestProbeChaosSeedDeterminism|TestBrokerCloseDuringPublishStorm|TestBackoffSharedRandConcurrent' . ./internal/mqtt ./internal/cloud
