@@ -87,13 +87,17 @@ type BatchReport struct {
 // ctx (wrapping ErrStageTimeout and the context error).
 func AnalyzeImages(ctx context.Context, imgs [][]byte, opts ...Option) (*BatchReport, error) {
 	cfg := newConfig(opts)
+	// Corpus runs release each image's facts store once its report is
+	// built, so finished images don't pin per-function solutions for the
+	// rest of the sweep (facts.Program.Release).
+	cfg.opts.ReleaseFacts = true
 	cfg.observe(len(imgs))
 	rn, err := cfg.runner()
 	if err != nil {
 		return nil, err
 	}
 	results := make([]ImageResult, len(imgs))
-	parallel.ForEach(ctx, cfg.workers, len(imgs), func(i int) {
+	parallel.ForEach(ctx, parallel.CPUWorkers(cfg.workers), len(imgs), func(i int) {
 		results[i] = analyzeBatchImage(ctx, rn, fmt.Sprintf("image[%d]", i), imgs[i])
 	})
 	if err := ctx.Err(); err != nil {
@@ -106,13 +110,14 @@ func AnalyzeImages(ctx context.Context, imgs [][]byte, opts ...Option) (*BatchRe
 // same contract as AnalyzeImages; unreadable files fail per-image.
 func AnalyzePaths(ctx context.Context, paths []string, opts ...Option) (*BatchReport, error) {
 	cfg := newConfig(opts)
+	cfg.opts.ReleaseFacts = true // same store trim as AnalyzeImages
 	cfg.observe(len(paths))
 	rn, err := cfg.runner()
 	if err != nil {
 		return nil, err
 	}
 	results := make([]ImageResult, len(paths))
-	parallel.ForEach(ctx, cfg.workers, len(paths), func(i int) {
+	parallel.ForEach(ctx, parallel.CPUWorkers(cfg.workers), len(paths), func(i int) {
 		data, err := os.ReadFile(paths[i])
 		if err != nil {
 			results[i] = ImageResult{

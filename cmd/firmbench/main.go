@@ -5,14 +5,20 @@
 //
 //   - batch: the packed corpus analyzed via firmres.AnalyzeImages at each
 //     worker count, reporting ns/op (one op = the whole corpus), images/sec,
-//     and the speedup relative to -j 1. Batch workers only help with more
-//     than one CPU: on a GOMAXPROCS=1 host every worker count costs the
-//     same, so interpret the speedup column against the reported gomaxprocs.
+//     and the speedup relative to -j 1. The pipeline clamps -j to
+//     GOMAXPROCS for its compute-bound pools, so each row also records the
+//     effective worker count; reps are interleaved round-robin across
+//     counts and rows with equal effective counts share pooled samples
+//     (see batchSweep), so identical configurations report as identical
+//     instead of diverging on scheduler jitter.
 //   - facts_reuse: the single-image win from the shared facts layer, which
 //     is real at any CPU count. The taint engine and the lint passes both
 //     need per-function CFG/def-use/constprop solutions; "cold" computes
 //     them independently per consumer (the pre-facts layout), "shared" reads
 //     both through one facts.Program as the pipeline does.
+//   - alloc: heap-allocation cost (allocs/op, bytes/op via runtime.MemStats
+//     deltas) of one cold single-image analysis and of the full corpus
+//     batch at -j 1 — the regression guard for the hot-path memory work.
 //   - cache: the corpus-scale win from the persistent result cache
 //     (WithCache). "cold" analyzes the corpus into an empty cache directory
 //     (computation plus population cost); "warm" re-runs the same sweep
@@ -31,8 +37,12 @@
 // Usage:
 //
 //	firmbench [-out BENCH_pipeline.json] [-reps 3] [-jobs 1,2,4,8]
-//	          [-trace-json FILE] [-pprof ADDR]
+//	          [-trace-json FILE] [-pprof ADDR|PREFIX]
 //	firmbench -validate FILE
+//
+// -pprof with a ':' in the value serves net/http/pprof on that address
+// while benchmarking; any other value is a file prefix — the run writes
+// PREFIX.cpu.pprof (CPU, streamed) and PREFIX.heap.pprof (heap, on exit).
 //
 // -validate re-reads a previously written output file, checks it against
 // the expected schema, and enforces the sanity invariants CI's bench-smoke
@@ -46,28 +56,32 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
-	_ "net/http/pprof"
-
 	"firmres"
 	"firmres/internal/corpus"
 	"firmres/internal/facts"
 	"firmres/internal/lint"
+	"firmres/internal/parallel"
 	"firmres/internal/pcode"
+	"firmres/internal/profio"
 	"firmres/internal/taint"
 )
 
 type batchRow struct {
-	Jobs         int     `json:"jobs"`
-	NsPerOp      int64   `json:"ns_per_op"` // one op = the full corpus batch
-	ImagesPerSec float64 `json:"images_per_sec"`
-	SpeedupVsJ1  float64 `json:"speedup_vs_j1"`
+	Jobs int `json:"jobs"`
+	// EffectiveWorkers is the pool size the run actually used:
+	// parallel.CPUWorkers clamps -j to GOMAXPROCS for the compute-bound
+	// batch pool. Rows with equal effective workers executed the identical
+	// configuration, so the sweep pools their samples (see batchSweep).
+	EffectiveWorkers int     `json:"effective_workers"`
+	NsPerOp          int64   `json:"ns_per_op"` // one op = the full corpus batch
+	ImagesPerSec     float64 `json:"images_per_sec"`
+	SpeedupVsJ1      float64 `json:"speedup_vs_j1"`
 }
 
 type factsReuse struct {
@@ -98,12 +112,29 @@ type cacheBench struct {
 	Misses  int64   `json:"misses"`
 }
 
+// allocRow is one heap-allocation measurement: runtime.MemStats deltas
+// (Mallocs, TotalAlloc) around the operation, averaged over the sampled
+// runs.
+type allocRow struct {
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// allocStats is the allocation section of the report: the hot-path memory
+// cost of one cold single-image analysis and of the full corpus batch at
+// -j 1 (single-worker, so the deltas attribute to the pipeline alone).
+type allocStats struct {
+	SingleImage allocRow `json:"single_image"`
+	Batch       allocRow `json:"batch"`
+}
+
 type report struct {
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	NumCPU     int        `json:"num_cpu"`
 	Images     int        `json:"corpus_images"`
 	Reps       int        `json:"reps"` // best-of-N per row
 	Batch      []batchRow `json:"batch"`
+	Alloc      allocStats `json:"alloc"`
 	FactsReuse factsReuse `json:"facts_reuse"`
 	Cache      cacheBench `json:"cache"`
 	Facts      factsStats `json:"facts"` // from the untimed instrumented pass
@@ -114,7 +145,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per configuration (best is kept)")
 	jobsFlag := flag.String("jobs", "1,2,4,8", "comma-separated worker counts")
 	traceJSON := flag.String("trace-json", "", "write the instrumented corpus sweep as one Chrome trace_event `file`")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060) while benchmarking")
+	pprofAddr := flag.String("pprof", "", "with ':' in `mode`, serve net/http/pprof on that address while benchmarking; otherwise write <mode>.cpu.pprof and <mode>.heap.pprof")
 	validate := flag.String("validate", "", "validate a previously written output `file` (schema + sanity invariants) and exit")
 	flag.Parse()
 
@@ -128,11 +159,15 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
-		go func(addr string) {
-			if err := http.ListenAndServe(addr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "firmbench: pprof: %v\n", err)
-			}
-		}(*pprofAddr)
+		warn := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "firmbench: "+format+"\n", args...)
+		}
+		stop, err := profio.Start(*pprofAddr, warn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "firmbench: %v\n", err)
+			os.Exit(2)
+		}
+		defer stop()
 	}
 
 	var jobs []int
@@ -158,26 +193,38 @@ func main() {
 		Reps:       *reps,
 	}
 
+	bests, err := batchSweep(imgs, jobs, *reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "firmbench: batch sweep: %v\n", err)
+		os.Exit(1)
+	}
 	var j1 time.Duration
-	for _, j := range jobs {
-		best, err := bestBatch(imgs, j, *reps)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "firmbench: -j %d: %v\n", j, err)
-			os.Exit(1)
-		}
+	for i, j := range jobs {
+		best := bests[i]
 		if j == 1 || j1 == 0 {
 			j1 = best
 		}
 		row := batchRow{
-			Jobs:         j,
-			NsPerOp:      best.Nanoseconds(),
-			ImagesPerSec: float64(len(imgs)) / best.Seconds(),
-			SpeedupVsJ1:  float64(j1) / float64(best),
+			Jobs:             j,
+			EffectiveWorkers: parallel.CPUWorkers(j),
+			NsPerOp:          best.Nanoseconds(),
+			ImagesPerSec:     float64(len(imgs)) / best.Seconds(),
+			SpeedupVsJ1:      float64(j1) / float64(best),
 		}
 		rep.Batch = append(rep.Batch, row)
-		fmt.Printf("batch -j %d: %v/op  %.2f images/sec  %.2fx vs -j 1\n",
-			j, best, row.ImagesPerSec, row.SpeedupVsJ1)
+		fmt.Printf("batch -j %d (%d effective): %v/op  %.2f images/sec  %.2fx vs -j 1\n",
+			j, row.EffectiveWorkers, best, row.ImagesPerSec, row.SpeedupVsJ1)
 	}
+
+	al, err := measureAlloc(imgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "firmbench: alloc sweep: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Alloc = al
+	fmt.Printf("alloc: single image %d allocs/op %d B/op, batch %d allocs/op %d B/op\n",
+		al.SingleImage.AllocsPerOp, al.SingleImage.BytesPerOp,
+		al.Batch.AllocsPerOp, al.Batch.BytesPerOp)
 
 	fr, err := measureFactsReuse(*reps)
 	if err != nil {
@@ -230,26 +277,110 @@ func packCorpus() ([][]byte, error) {
 	return imgs, nil
 }
 
-// bestBatch analyzes the corpus reps times at the given worker count and
-// returns the fastest wall-clock duration.
-func bestBatch(imgs [][]byte, jobs, reps int) (time.Duration, error) {
-	var best time.Duration
+// batchSweep analyzes the corpus reps times at each worker count and
+// returns the fastest wall-clock duration per count, aligned with jobs.
+//
+// Two measures keep the cross-row comparison (speedup_vs_j1) honest on a
+// noisy host:
+//
+//   - The reps are interleaved round-robin across worker counts rather
+//     than measured one count at a time, so wall-clock drift over the
+//     sweep (CPU frequency, page-cache state, heap aging in this
+//     long-lived process) lands on every count equally instead of
+//     flattering whichever row ran in a fast window. Each sample also
+//     starts from a freshly collected heap so no row inherits the
+//     previous sample's garbage.
+//
+//   - Rows whose effective pool size is identical after the
+//     parallel.CPUWorkers clamp executed the exact same configuration —
+//     on a GOMAXPROCS=1 host that is every row — so their samples are
+//     pooled into one distribution and they share one best. Reporting
+//     separately-sampled minima for identical configurations would
+//     manufacture spurious speedups (or slowdowns) out of scheduler
+//     jitter; pooling reports the equality that is actually there, and
+//     on a multi-CPU host distinct effective sizes still get genuinely
+//     independent measurements.
+func batchSweep(imgs [][]byte, jobs []int, reps int) ([]time.Duration, error) {
+	bests := make([]time.Duration, len(jobs))
 	for r := 0; r < reps; r++ {
-		start := time.Now()
-		br, err := firmres.AnalyzeImages(context.Background(), imgs,
-			firmres.WithLint(), firmres.WithWorkers(jobs))
-		d := time.Since(start)
-		if err != nil {
-			return 0, err
-		}
-		if br.Summary.Reports != 20 { // devices 21-22 are script-only
-			return 0, fmt.Errorf("reports = %d, want 20", br.Summary.Reports)
-		}
-		if best == 0 || d < best {
-			best = d
+		for i, j := range jobs {
+			runtime.GC()
+			start := time.Now()
+			br, err := firmres.AnalyzeImages(context.Background(), imgs,
+				firmres.WithLint(), firmres.WithWorkers(j))
+			d := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("-j %d: %w", j, err)
+			}
+			if br.Summary.Reports != 20 { // devices 21-22 are script-only
+				return nil, fmt.Errorf("-j %d: reports = %d, want 20", j, br.Summary.Reports)
+			}
+			if bests[i] == 0 || d < bests[i] {
+				bests[i] = d
+			}
 		}
 	}
-	return best, nil
+	// Pool rows that ran the identical effective configuration.
+	for i := range jobs {
+		for k := range jobs {
+			if parallel.CPUWorkers(jobs[k]) == parallel.CPUWorkers(jobs[i]) && bests[k] < bests[i] {
+				bests[i] = bests[k]
+			}
+		}
+	}
+	return bests, nil
+}
+
+// measureAlloc runs the allocation sweep: MemStats deltas around a cold
+// single-image analysis (averaged over a few runs) and around one full
+// corpus batch at -j 1. Untimed — GC runs between sections, so the
+// numbers are heap traffic, not wall clock.
+func measureAlloc(imgs [][]byte) (allocStats, error) {
+	single, err := allocOf(3, func() error {
+		rep, err := firmres.AnalyzeImage(imgs[0], firmres.WithLint())
+		if err != nil {
+			return err
+		}
+		if len(rep.Messages) == 0 {
+			return fmt.Errorf("single-image run reconstructed no messages")
+		}
+		return nil
+	})
+	if err != nil {
+		return allocStats{}, err
+	}
+	batch, err := allocOf(1, func() error {
+		br, err := firmres.AnalyzeImages(context.Background(), imgs,
+			firmres.WithLint(), firmres.WithWorkers(1))
+		if err != nil {
+			return err
+		}
+		if br.Summary.Reports != 20 {
+			return fmt.Errorf("reports = %d, want 20", br.Summary.Reports)
+		}
+		return nil
+	})
+	if err != nil {
+		return allocStats{}, err
+	}
+	return allocStats{SingleImage: single, Batch: batch}, nil
+}
+
+// allocOf measures the per-op Mallocs/TotalAlloc deltas of runs calls to op.
+func allocOf(runs int, op func() error) (allocRow, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		if err := op(); err != nil {
+			return allocRow{}, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return allocRow{
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(runs),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(runs),
+	}, nil
 }
 
 // measureFactsReuse times the taint engine plus the lint passes over one
@@ -266,38 +397,47 @@ func measureFactsReuse(reps int) (factsReuse, error) {
 	}
 	ctx := context.Background()
 
-	// One arm is ~1-2ms, so a single -reps 1 sample is scheduler noise;
-	// floor the sample count so best-of converges even in the CI smoke run.
+	// One arm is well under a millisecond, so a single -reps 1 sample is
+	// scheduler noise; floor the sample count and average an inner batch
+	// of runs per timed sample so best-of converges even in the CI smoke
+	// run. Both knobs rose (8→16 samples, 1→4 runs per sample) when the
+	// hot-path memory work shrank the arms enough that single-run samples
+	// no longer reliably separated the sharing win from jitter.
 	iters := reps
-	if iters < 8 {
-		iters = 8
+	if iters < 16 {
+		iters = 16
 	}
+	const inner = 4 // analyses averaged per timed sample
 	var cold, shared time.Duration
 	for r := -1; r < iters; r++ {
 		// Cold: each consumer lifts and solves on its own (lifting included
 		// in both arms so the comparison isolates the artifact sharing).
 		start := time.Now()
-		progA, err := pcode.LiftProgram(bin)
-		if err != nil {
-			return factsReuse{}, err
+		for k := 0; k < inner; k++ {
+			progA, err := pcode.LiftProgram(bin)
+			if err != nil {
+				return factsReuse{}, err
+			}
+			taint.NewEngine(progA, taint.Options{}).Analyze()
+			runner.Run(progA, "/bin/cloudd")
 		}
-		taint.NewEngine(progA, taint.Options{}).Analyze()
-		runner.Run(progA, "/bin/cloudd")
-		d := time.Since(start)
+		d := time.Since(start) / inner
 		if r >= 0 && (cold == 0 || d < cold) { // r == -1 is untimed warmup
 			cold = d
 		}
 
 		// Shared: both consumers read through one facts.Program.
 		start = time.Now()
-		progB, err := pcode.LiftProgram(bin)
-		if err != nil {
-			return factsReuse{}, err
+		for k := 0; k < inner; k++ {
+			progB, err := pcode.LiftProgram(bin)
+			if err != nil {
+				return factsReuse{}, err
+			}
+			fx := facts.New(progB)
+			taint.NewEngineFacts(fx, taint.Options{}).AnalyzeContext(ctx, 1)
+			runner.RunFacts(ctx, fx, "/bin/cloudd", 1)
 		}
-		fx := facts.New(progB)
-		taint.NewEngineFacts(fx, taint.Options{}).AnalyzeContext(ctx, 1)
-		runner.RunFacts(ctx, fx, "/bin/cloudd", 1)
-		d = time.Since(start)
+		d = time.Since(start) / inner
 		if r >= 0 && (shared == 0 || d < shared) {
 			shared = d
 		}
@@ -384,10 +524,37 @@ func validateReport(path string) error {
 	case len(rep.Batch) == 0:
 		return fmt.Errorf("batch table is empty")
 	}
+	base := rep.Batch[0]
 	for _, row := range rep.Batch {
-		if row.Jobs < 1 || row.NsPerOp <= 0 || row.ImagesPerSec <= 0 || row.SpeedupVsJ1 <= 0 {
+		if row.Jobs == 1 {
+			base = row
+		}
+	}
+	for _, row := range rep.Batch {
+		if row.Jobs < 1 || row.EffectiveWorkers < 1 || row.NsPerOp <= 0 ||
+			row.ImagesPerSec <= 0 || row.SpeedupVsJ1 <= 0 {
 			return fmt.Errorf("implausible batch row: %+v", row)
 		}
+		// Rows clamped to the same effective pool as the -j 1 baseline ran
+		// the identical configuration; batchSweep pools their samples, so
+		// anything but exact equality means the sweep didn't pool.
+		if row.EffectiveWorkers == base.EffectiveWorkers && row.NsPerOp != base.NsPerOp {
+			return fmt.Errorf("batch -j %d: %d ns/op differs from -j %d baseline (%d ns/op) despite equal effective workers (%d)",
+				row.Jobs, row.NsPerOp, base.Jobs, base.NsPerOp, row.EffectiveWorkers)
+		}
+	}
+	// The alloc section must be present and plausible: any pipeline run
+	// allocates, so zero or negative rows mean the sweep never ran or the
+	// counters wrapped. The batch analyzes every image the single row
+	// analyzes once, so it can never allocate less.
+	for _, row := range []allocRow{rep.Alloc.SingleImage, rep.Alloc.Batch} {
+		if row.AllocsPerOp <= 0 || row.BytesPerOp <= 0 {
+			return fmt.Errorf("implausible alloc row: %+v", row)
+		}
+	}
+	if rep.Alloc.Batch.AllocsPerOp < rep.Alloc.SingleImage.AllocsPerOp {
+		return fmt.Errorf("alloc: batch (%d allocs/op) below single image (%d allocs/op)",
+			rep.Alloc.Batch.AllocsPerOp, rep.Alloc.SingleImage.AllocsPerOp)
 	}
 	if rep.FactsReuse.ColdNs <= 0 || rep.FactsReuse.SharedNs <= 0 {
 		return fmt.Errorf("implausible facts_reuse timings: %+v", rep.FactsReuse)

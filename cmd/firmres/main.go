@@ -44,8 +44,10 @@
 // stderr; -trace-json writes the same spans as Chrome trace_event JSON
 // (chrome://tracing, Perfetto); -metrics writes the aggregated work
 // counters in Prometheus text format; -progress reports per-image progress
-// on stderr; -pprof serves net/http/pprof on the given address for the
-// duration of the run. None of these change the analysis output.
+// on stderr; -pprof with a ':' in its value serves net/http/pprof on that
+// address for the duration of the run, and with any other value writes a
+// CPU profile to <value>.cpu.pprof during the run plus a heap profile to
+// <value>.heap.pprof on exit. None of these change the analysis output.
 //
 // Exit codes: 0 when every image analyzed cleanly, 1 when any image failed
 // fatally, 2 on usage errors, 3 when every image produced a report but at
@@ -59,13 +61,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"firmres"
+	"firmres/internal/profio"
 )
 
 // Exit codes.
@@ -146,7 +147,7 @@ func run() int {
 	flag.BoolVar(&opts.progress, "progress", false,
 		"report per-image progress on stderr")
 	flag.StringVar(&opts.pprofAddr, "pprof", "",
-		"serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		"with a ':' in the value, serve net/http/pprof on that address for the duration of the run; otherwise write <value>.cpu.pprof and <value>.heap.pprof")
 	flag.StringVar(&opts.cacheDir, "cache", "",
 		"serve analyses from a persistent result cache rooted at this directory (created if missing)")
 	flag.Int64Var(&opts.cacheMax, "cache-max-bytes", 0,
@@ -176,7 +177,15 @@ func run() int {
 		return exitUsage
 	}
 	if opts.pprofAddr != "" {
-		servePprof(opts.pprofAddr)
+		warn := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "firmres: "+format+"\n", args...)
+		}
+		stop, err := profio.Start(opts.pprofAddr, warn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "firmres: %v\n", err)
+			return exitUsage
+		}
+		defer stop()
 	}
 	sink := newObsSink(opts)
 	defer sink.finish()
@@ -204,16 +213,6 @@ func run() int {
 		}
 	}
 	return exit
-}
-
-// servePprof exposes the runtime profiles while the analysis runs. Failures
-// are warnings: profiling must never take the analysis down.
-func servePprof(addr string) {
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "firmres: pprof: %v\n", err)
-		}
-	}()
 }
 
 // obsSink accumulates the run's observability outputs — one trace and one

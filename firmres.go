@@ -274,7 +274,11 @@ func WithStageTimeout(d time.Duration) Option {
 // (AnalyzeImages, AnalyzePaths, AnalyzeDir) analyze up to n images
 // concurrently, and within each image the pipeline stages fan out on up to
 // n goroutines. n <= 0 (the default) selects runtime.GOMAXPROCS; 1 runs
-// everything sequentially. Reports are byte-identical at any worker count.
+// everything sequentially. The analysis pools are compute-bound, so n is
+// additionally clamped to runtime.GOMAXPROCS — extra goroutines cannot
+// help and only add coordination cost (probe-stage replays, which block,
+// are bounded separately by probe.Options.Probers). Reports are
+// byte-identical at any worker count.
 func WithWorkers(n int) Option {
 	return func(c *config) {
 		c.workers = n

@@ -409,6 +409,15 @@ func (b *Binary) Marshal() []byte {
 }
 
 // Unmarshal parses an on-disk binary image.
+//
+// Ownership: Unmarshal is zero-copy — Text and Data alias sub-slices of
+// raw rather than copying the section bytes (capacity-clamped so appends
+// reallocate). The caller must treat raw as immutable for the lifetime of
+// the returned Binary; the pipeline only ever reads section bytes
+// (lifting decodes Text, string recovery scans Data), and raw itself
+// aliases the unpacked image buffer (see image.Unpack), so one firmware
+// buffer backs the whole analysis. Mutate-after-parse callers (e.g. fault
+// injectors) must corrupt the buffer before parsing, or copy first.
 func Unmarshal(raw []byte) (*Binary, error) {
 	r := &reader{buf: raw}
 	magic, err := r.bytes(len(Magic))
@@ -434,9 +443,9 @@ func Unmarshal(raw []byte) (*Binary, error) {
 				return nil, fmt.Errorf("binfmt: name: %w", err)
 			}
 		case sectText:
-			b.Text = append([]byte(nil), body...)
+			b.Text = body[:len(body):len(body)] // alias raw, capacity-clamped
 		case sectData:
-			b.Data = append([]byte(nil), body...)
+			b.Data = body[:len(body):len(body)] // alias raw, capacity-clamped
 		case sectImports:
 			n, err := s.u32()
 			if err != nil {

@@ -212,3 +212,28 @@ func TestMarshalRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestUnmarshalZeroCopyAliasesRaw(t *testing.T) {
+	// The zero-copy ownership contract: Text and Data alias the marshaled
+	// buffer (no section copy), capacity-clamped so appends reallocate.
+	raw := sample().Marshal()
+	b, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	for _, sect := range []struct {
+		name string
+		data []byte
+	}{{"Text", b.Text}, {"Data", b.Data}} {
+		if len(sect.data) == 0 {
+			continue
+		}
+		off := bytes.Index(raw, sect.data)
+		if off < 0 || &raw[off] != &sect.data[0] {
+			t.Fatalf("%s does not alias the raw buffer", sect.name)
+		}
+		if cap(sect.data) != len(sect.data) {
+			t.Fatalf("%s: cap %d > len %d — append would scribble into raw", sect.name, cap(sect.data), len(sect.data))
+		}
+	}
+}

@@ -15,23 +15,37 @@ package constprop
 
 import (
 	"sort"
+	"sync"
 
 	"firmres/internal/cfg"
-	"firmres/internal/isa"
 	"firmres/internal/pcode"
 )
 
-// locKey identifies a storage location: a register, a lifter temporary, or a
-// resolved stack slot (synthetic RAM-space key, as in package dataflow).
-type locKey struct {
-	space  pcode.Space
-	offset uint64
+// cell is one location's lattice value: unknown (ok == false) or a proven
+// constant.
+type cell struct {
+	val uint64
+	ok  bool
 }
 
-func keyOf(v pcode.Varnode) locKey { return locKey{space: v.Space, offset: v.Offset} }
+// state is the dense lattice vector, indexed by the lift-time interned
+// pcode.LocID: the lifter assigns every definable location a dense ID, so
+// the per-op transfer reads and writes array slots instead of hashing map
+// keys, and cloning a state (block entry, ValueAt replay) is one memcpy.
+// A location the function never defines (pcode.NoLoc) is unknown by
+// construction without touching the state at all.
+type state []cell
 
-// state maps known-constant locations to their values.
-type state map[locKey]uint64
+func newState(n int) state { return make(state, n) }
+
+func (st state) get(id pcode.LocID) (uint64, bool) {
+	c := st[id]
+	return c.val, c.ok
+}
+
+func (st state) set(id pcode.LocID, v uint64) { st[id] = cell{val: v, ok: true} }
+
+func (st state) del(id pcode.LocID) { st[id] = cell{} }
 
 // Result is the constant-propagation solution of one function.
 type Result struct {
@@ -40,12 +54,19 @@ type Result struct {
 
 	in    []state // per-block state at block entry (nil when unreachable)
 	reach []bool  // per-block executability from the entry
+
+	// scratch pools ValueAt replay states: lint checkers and the taint
+	// engine query many points per function, and the replay needs a
+	// mutable copy of the block-entry state each time. Safe under
+	// concurrent queries — each caller takes its own state.
+	scratch sync.Pool
 }
 
 // Solve computes the conditional constant-propagation solution for fn over
 // its CFG.
 func Solve(fn *pcode.Function, g *cfg.Graph) *Result {
 	r := &Result{Fn: fn, G: g}
+	r.scratch.New = func() any { s := newState(fn.NumLocs()); return &s }
 	n := len(g.Blocks)
 	r.in = make([]state, n)
 	r.reach = make([]bool, n)
@@ -71,7 +92,7 @@ func Solve(fn *pcode.Function, g *cfg.Graph) *Result {
 		// from the empty (everything-unknown) state regardless of back edges.
 		var in state
 		if b == 0 {
-			in = state{}
+			in = newState(fn.NumLocs())
 		} else {
 			first := true
 			for _, p := range blk.Preds {
@@ -123,7 +144,7 @@ func (r *Result) execSuccs(blk *cfg.Block, st state) []int {
 	if last.Code != pcode.CBRANCH || len(last.Inputs) < 2 {
 		return blk.Succs
 	}
-	pred, ok := st.eval(last.Inputs[1])
+	pred, ok := r.eval(st, last.Inputs[1])
 	if !ok {
 		return blk.Succs
 	}
@@ -171,63 +192,63 @@ func (r *Result) transfer(st state, i int) {
 	op := &r.Fn.Ops[i]
 	switch op.Code {
 	case pcode.COPY:
-		v, ok := st.eval(op.Inputs[0])
-		st.assign(op.Output, v, ok)
+		v, ok := r.eval(st, op.Inputs[0])
+		r.assign(st, op.Output, v, ok)
 
 	case pcode.INT_ADD, pcode.INT_SUB, pcode.INT_MULT, pcode.INT_DIV,
 		pcode.INT_AND, pcode.INT_OR, pcode.INT_XOR,
 		pcode.INT_LEFT, pcode.INT_RIGHT,
 		pcode.INT_EQUAL, pcode.INT_NOTEQUAL, pcode.INT_SLESS:
-		a, aok := st.eval(op.Inputs[0])
-		b, bok := st.eval(op.Inputs[1])
+		a, aok := r.eval(st, op.Inputs[0])
+		b, bok := r.eval(st, op.Inputs[1])
 		if aok && bok {
 			v, ok := fold(op.Code, a, b)
-			st.assign(op.Output, v, ok)
+			r.assign(st, op.Output, v, ok)
 		} else {
-			st.forget(op.Output)
+			r.forget(st, op.Output)
 		}
 
 	case pcode.BOOL_NEGATE:
-		if v, ok := st.eval(op.Inputs[0]); ok {
-			st.assign(op.Output, boolVal(v == 0), true)
+		if v, ok := r.eval(st, op.Inputs[0]); ok {
+			r.assign(st, op.Output, boolVal(v == 0), true)
 		} else {
-			st.forget(op.Output)
+			r.forget(st, op.Output)
 		}
 
 	case pcode.LOAD:
-		if slot, ok := r.resolveSlot(i); ok {
-			if v, ok2 := st[keyOf(slot)]; ok2 {
-				st.assign(op.Output, v, true)
+		if slot := r.Fn.SlotLocAt(i); slot != pcode.NoLoc {
+			if v, ok := st.get(slot); ok {
+				r.assign(st, op.Output, v, true)
 				return
 			}
 		}
-		st.forget(op.Output)
+		r.forget(st, op.Output)
 
 	case pcode.STORE:
-		if slot, ok := r.resolveSlot(i); ok {
+		if slot := r.Fn.SlotLocAt(i); slot != pcode.NoLoc {
 			src := op.Inputs[1]
-			if v, ok2 := st.eval(src); ok2 {
-				st[keyOf(slot)] = mask(v, src.Size)
+			if v, ok := r.eval(st, src); ok {
+				st.set(slot, mask(v, src.Size))
 			} else {
-				delete(st, keyOf(slot))
+				st.del(slot)
 			}
 			return
 		}
 		// A store through an unresolved pointer may hit any tracked slot.
-		st.clobberRAM()
+		r.clobberRAM(st)
 
 	case pcode.CALL, pcode.CALLIND:
 		if op.HasOut {
-			st.forget(op.Output)
+			r.forget(st, op.Output)
 		}
 		// The callee may write memory reachable through its arguments.
-		st.clobberRAM()
+		r.clobberRAM(st)
 
 	case pcode.MULTIEQUAL:
 		var val uint64
 		agreed := true
 		for j, in := range op.Inputs {
-			v, ok := st.eval(in)
+			v, ok := r.eval(st, in)
 			if !ok || (j > 0 && v != val) {
 				agreed = false
 				break
@@ -235,9 +256,9 @@ func (r *Result) transfer(st state, i int) {
 			val = v
 		}
 		if agreed && len(op.Inputs) > 0 {
-			st.assign(op.Output, val, true)
+			r.assign(st, op.Output, val, true)
 		} else {
-			st.forget(op.Output)
+			r.forget(st, op.Output)
 		}
 
 	case pcode.CBRANCH, pcode.BRANCH, pcode.RETURN:
@@ -245,28 +266,9 @@ func (r *Result) transfer(st state, i int) {
 
 	default:
 		if op.HasOut {
-			st.forget(op.Output)
+			r.forget(st, op.Output)
 		}
 	}
-}
-
-// resolveSlot pattern-matches the effective-address computation of a
-// LOAD/STORE at opIdx, mirroring dataflow.resolveSlot: the address unique
-// must come from the INT_ADD(SP, const) the lifter emitted just before.
-func (r *Result) resolveSlot(opIdx int) (pcode.Varnode, bool) {
-	op := &r.Fn.Ops[opIdx]
-	if len(op.Inputs) == 0 || op.Inputs[0].Space != pcode.SpaceUnique || opIdx == 0 {
-		return pcode.Varnode{}, false
-	}
-	ea := &r.Fn.Ops[opIdx-1]
-	if !ea.HasOut || ea.Output != op.Inputs[0] || ea.Code != pcode.INT_ADD {
-		return pcode.Varnode{}, false
-	}
-	base, ok := ea.Inputs[0].Reg()
-	if !ok || base != isa.SP || !ea.Inputs[1].IsConst() {
-		return pcode.Varnode{}, false
-	}
-	return pcode.Varnode{Space: pcode.SpaceRAM, Offset: ea.Inputs[1].Offset & 0xffffffff, Size: 4}, true
 }
 
 // ValueAt returns the proven compile-time constant value of v at the program
@@ -278,11 +280,15 @@ func (r *Result) ValueAt(opIdx int, v pcode.Varnode) (uint64, bool) {
 	if blk == nil || !r.reach[blk.ID] || r.in[blk.ID] == nil {
 		return 0, false
 	}
-	st := r.in[blk.ID].clone()
+	sp := r.scratch.Get().(*state)
+	st := *sp
+	copy(st, r.in[blk.ID])
 	for i := blk.Start; i < opIdx; i++ {
 		r.transfer(st, i)
 	}
-	return st.eval(v)
+	val, ok := r.eval(st, v)
+	r.scratch.Put(sp)
+	return val, ok
 }
 
 // Reachable reports whether the op at opIdx is executable from the function
@@ -293,51 +299,59 @@ func (r *Result) Reachable(opIdx int) bool {
 }
 
 // eval resolves a varnode against the state: constants fold immediately,
-// tracked locations read their lattice value.
-func (st state) eval(v pcode.Varnode) (uint64, bool) {
+// tracked locations read their lattice value by interned ID.
+func (r *Result) eval(st state, v pcode.Varnode) (uint64, bool) {
 	if v.IsConst() {
 		return mask(v.Offset, v.Size), true
 	}
-	val, ok := st[keyOf(v)]
-	return val, ok
+	id := r.Fn.LocID(v)
+	if id == pcode.NoLoc {
+		return 0, false
+	}
+	return st.get(id)
 }
 
 // assign records the output of an op: a constant result enters the state,
 // an unknown one evicts any stale entry.
-func (st state) assign(out pcode.Varnode, v uint64, ok bool) {
-	if !ok {
-		delete(st, keyOf(out))
+func (r *Result) assign(st state, out pcode.Varnode, v uint64, ok bool) {
+	id := r.Fn.LocID(out) // outputs are always interned at lift time
+	if id == pcode.NoLoc {
 		return
 	}
-	st[keyOf(out)] = mask(v, out.Size)
+	if !ok {
+		st.del(id)
+		return
+	}
+	st.set(id, mask(v, out.Size))
 }
 
-func (st state) forget(v pcode.Varnode) { delete(st, keyOf(v)) }
+func (r *Result) forget(st state, v pcode.Varnode) {
+	if id := r.Fn.LocID(v); id != pcode.NoLoc {
+		st.del(id)
+	}
+}
 
 // clobberRAM drops every tracked memory slot: an opaque write or call may
-// have redefined any of them.
-func (st state) clobberRAM() {
-	for k := range st {
-		if k.space == pcode.SpaceRAM {
-			delete(st, k)
-		}
+// have redefined any of them. The lifter's interned RAM-location list
+// bounds the sweep to the slots that can exist at all.
+func (r *Result) clobberRAM(st state) {
+	for _, id := range r.Fn.RAMLocs() {
+		st.del(id)
 	}
 }
 
 func (st state) clone() state {
 	c := make(state, len(st))
-	for k, v := range st {
-		c[k] = v
-	}
+	copy(c, st)
 	return c
 }
 
 // meet intersects st with other in place: only locations constant with the
 // same value on both paths survive.
 func (st state) meet(other state) {
-	for k, v := range st {
-		if ov, ok := other[k]; !ok || ov != v {
-			delete(st, k)
+	for id := range st {
+		if st[id].ok && (!other[id].ok || other[id].val != st[id].val) {
+			st[id] = cell{}
 		}
 	}
 }
@@ -346,8 +360,8 @@ func (st state) equal(other state) bool {
 	if len(st) != len(other) {
 		return false
 	}
-	for k, v := range st {
-		if ov, ok := other[k]; !ok || ov != v {
+	for id := range st {
+		if st[id].ok != other[id].ok || (st[id].ok && st[id].val != other[id].val) {
 			return false
 		}
 	}

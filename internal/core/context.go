@@ -166,7 +166,7 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (r
 	if err := ctx.Err(); err != nil {
 		return res, fmt.Errorf("core: %w: %w", errdefs.ErrStageTimeout, err)
 	}
-	workers := p.opts.Workers
+	workers := parallel.CPUWorkers(p.opts.Workers)
 
 	// Stage 1: pinpoint the device-cloud executable. Corrupt or panicking
 	// candidates are skipped per-executable; only a complete sweep that
@@ -174,6 +174,17 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (r
 	// per-function artifact identification computed into the later stages.
 	var prog *pcode.Program
 	var fx *facts.Program
+	if p.opts.ReleaseFacts {
+		// Opt-in store trim (Options.ReleaseFacts): once this image's
+		// analysis has quiesced — every stage done, the report built —
+		// the winner's facts store would only pin dead per-function
+		// solutions for the rest of the batch.
+		defer func() {
+			if fx != nil {
+				fx.Release()
+			}
+		}()
+	}
 	err = p.runStage(ctx, res, StagePinpoint, func(sctx context.Context) (func(), error) {
 		cand, skips, err := p.pinpoint(sctx, met, img)
 		return func() {
@@ -208,11 +219,11 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (r
 			ts := make([]*mft.Tree, len(ms))
 			sls := make([][]slices.Slice, len(ms))
 			ran := parallel.ForEach(sctx, workers, len(ms), func(i int) {
-				sp := obs.StartChild(sctx, "mft-simplify",
-					obs.String("fn", ms[i].Site.Fn.Name()))
+				sp := obs.StartChild(sctx, "mft-simplify")
+				sp.AddString("fn", ms[i].Site.Fn.Name())
 				ts[i] = mft.Simplify(ms[i])
 				sls[i] = slices.Generate(ts[i])
-				sp.AddAttr(obs.Int("slices", len(sls[i])))
+				sp.AddInt("slices", len(sls[i]))
 				sp.End()
 			})
 			if ran < len(ms) {
@@ -235,8 +246,9 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (r
 		classify := semantics.Observed(p.opts.Classifier, met)
 		out := make([][]fields.SliceInfo, len(trees))
 		parallel.ForEach(sctx, workers, len(trees), func(i int) {
-			sp := obs.StartChild(sctx, "classify",
-				obs.String("fn", mfts[i].Site.Fn.Name()), obs.Int("slices", len(allSlices[i])))
+			sp := obs.StartChild(sctx, "classify")
+			sp.AddString("fn", mfts[i].Site.Fn.Name())
+			sp.AddInt("slices", len(allSlices[i]))
 			for _, s := range allSlices[i] {
 				label, conf := classify.Classify(s)
 				out[i] = append(out[i], fields.SliceInfo{Slice: s, Label: label, Confidence: conf})
@@ -261,8 +273,8 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (r
 		resolver, notes := ResolverFromImageNotes(img)
 		msgs := make([]MessageResult, len(trees))
 		parallel.ForEach(sctx, workers, len(trees), func(i int) {
-			sp := obs.StartChild(sctx, "build-message",
-				obs.String("fn", mfts[i].Site.Fn.Name()))
+			sp := obs.StartChild(sctx, "build-message")
+			sp.AddString("fn", mfts[i].Site.Fn.Name())
 			msgs[i] = MessageResult{
 				MFT: mfts[i], Tree: trees[i], Slices: allSlices[i],
 				Infos: infos[i], Message: fields.Build(trees[i], infos[i], resolver),
@@ -271,7 +283,7 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (r
 			for _, fl := range msgs[i].Message.Fields {
 				met.Counter("message_fields_total", "label", fl.Semantics).Inc()
 			}
-			sp.AddAttr(obs.Int("fields", len(msgs[i].Message.Fields)))
+			sp.AddInt("fields", len(msgs[i].Message.Fields))
 			sp.End()
 		})
 		if sctx.Err() != nil {
@@ -291,8 +303,8 @@ func (p *Pipeline) AnalyzeImageContext(ctx context.Context, img *image.Image) (r
 		findings := make([]formcheck.Finding, len(res.Messages))
 		parallel.ForEach(sctx, workers, len(res.Messages), func(i int) {
 			mr := &res.Messages[i]
-			sp := obs.StartChild(sctx, "check-form",
-				obs.String("fn", mr.Message.Function))
+			sp := obs.StartChild(sctx, "check-form")
+			sp.AddString("fn", mr.Message.Function)
 			if mr.Message.Discarded {
 				sp.SetStatus("discarded")
 				sp.End()
@@ -409,8 +421,9 @@ func (p *Pipeline) pinpoint(ctx context.Context, met *obs.Metrics, img *image.Im
 		skip *errdefs.AnalysisError
 	}
 	slots := make([]slot, len(files))
-	parallel.ForEach(ctx, p.opts.Workers, len(files), func(i int) {
-		sp := obs.StartChild(ctx, "candidate", obs.String("path", files[i].Path))
+	parallel.ForEach(ctx, parallel.CPUWorkers(p.opts.Workers), len(files), func(i int) {
+		sp := obs.StartChild(ctx, "candidate")
+		sp.AddString("path", files[i].Path)
 		c, skip := p.liftCandidate(ctx, met, files[i], hints)
 		switch {
 		case skip != nil:
@@ -468,7 +481,8 @@ func (p *Pipeline) liftCandidate(ctx context.Context, met *obs.Metrics, f *image
 	// cannot perturb symbol-full reports.
 	var rec *strip.Stats
 	if p.opts.Stripped || strip.Needed(bin) {
-		sp := obs.StartChild(ctx, "strip-recover", obs.String("path", f.Path))
+		sp := obs.StartChild(ctx, "strip-recover")
+		sp.AddString("path", f.Path)
 		rec = strip.Recover(bin, hints)
 		if rec.FuncsRecovered == 0 && rec.StringsRecovered == 0 && rec.ExternsTotal == 0 {
 			rec = nil // nothing was missing: keep symbol-full results untouched
@@ -478,8 +492,8 @@ func (p *Pipeline) liftCandidate(ctx context.Context, met *obs.Metrics, f *image
 			met.Counter("strip_strings_recovered_total").Add(int64(rec.StringsRecovered))
 			met.Counter("strip_externs_bound_total").Add(int64(rec.ExternsBound))
 			met.Counter("strip_externs_unbound_total").Add(int64(rec.ExternsTotal - rec.ExternsBound))
-			sp.AddAttr(obs.Int("funcs", rec.FuncsRecovered))
-			sp.AddAttr(obs.Int("externs-bound", rec.ExternsBound))
+			sp.AddInt("funcs", rec.FuncsRecovered)
+			sp.AddInt("externs-bound", rec.ExternsBound)
 		}
 		sp.End()
 	}

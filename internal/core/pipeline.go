@@ -215,6 +215,13 @@ type Options struct {
 	// classified for exploitability. Nil (the default) skips the stage
 	// entirely, leaving the report byte-identical to a probe-less build.
 	Probe *probe.Options
+	// ReleaseFacts releases the winning executable's facts store once the
+	// image's analysis completes (facts.Program.Release): single-flight
+	// artifact builds otherwise pin every requested function's
+	// CFG/def-use/constprop solution for as long as anything references
+	// the store. Batch runners set it so long corpus sweeps don't
+	// accumulate dead stores; it never affects the report.
+	ReleaseFacts bool
 	// Stripped forces the symbol-free recovery pass (internal/strip) on
 	// every candidate executable before lifting. The pass also runs
 	// automatically on binaries that arrive without function symbols or
@@ -242,10 +249,12 @@ func (o Options) withDefaults() Options {
 // entry. Defaults are applied first, so the zero value and an explicitly
 // spelled-out default configuration fingerprint identically.
 //
-// Deliberately excluded: Workers (reports are worker-count-invariant) and
-// Obs (span recording never changes the report). Included even though they
-// only matter under degradation: StageTimeout, because a budgeted run can
-// legitimately produce a different (partial) report than an unbudgeted one.
+// Deliberately excluded: Workers (reports are worker-count-invariant), Obs
+// (span recording never changes the report), and ReleaseFacts (a
+// memory-lifetime knob, applied only after the report is complete).
+// Included even though they only matter under degradation: StageTimeout,
+// because a budgeted run can legitimately produce a different (partial)
+// report than an unbudgeted one.
 func (o Options) Fingerprint() string {
 	o = o.withDefaults()
 	var b strings.Builder

@@ -3,25 +3,19 @@
 // the backward taint engine of §IV-B.
 //
 // Definitions are P-Code ops with an output varnode. Storage locations are
-// keyed by (space, offset); in addition, stack slots addressed as
-// INT_ADD(SP, const) through LOAD/STORE are resolved to synthetic RAM-space
-// keys so that register spills do not break backward traces. Unresolvable
-// memory stays conservative, matching the paper's over-taint strategy.
+// the lift-time interned (space, offset) pairs of package pcode: stack
+// slots addressed as INT_ADD(SP, const) through LOAD/STORE resolve to
+// synthetic RAM-space locations (precomputed by the lifter) so that
+// register spills do not break backward traces, and every per-op structure
+// here is a dense array indexed by op or pcode.LocID — the solver and the
+// ReachingDefs block walk never hash a key. Unresolvable memory stays
+// conservative, matching the paper's over-taint strategy.
 package dataflow
 
 import (
 	"firmres/internal/cfg"
-	"firmres/internal/isa"
 	"firmres/internal/pcode"
 )
-
-// locKey identifies a storage location for dataflow purposes.
-type locKey struct {
-	space  pcode.Space
-	offset uint64
-}
-
-func keyOf(v pcode.Varnode) locKey { return locKey{space: v.Space, offset: v.Offset} }
 
 // DefUse holds the reaching-definitions solution of one function.
 type DefUse struct {
@@ -30,11 +24,10 @@ type DefUse struct {
 	in  []bitset // per-block IN sets over def indices
 	out []bitset
 
-	defOps  []int                 // def index -> op index
-	defLoc  []locKey              // def index -> defined location
-	defsAt  map[int]int           // op index -> def index (for ops that define)
-	locDefs map[locKey][]int      // location -> def indices
-	slotOf  map[int]pcode.Varnode // op index (LOAD/STORE) -> resolved slot varnode
+	defOps  []int32       // def index -> op index
+	defLoc  []pcode.LocID // def index -> defined location
+	defsAt  []int32       // op index -> def index, -1 for ops that don't define
+	locDefs [][]int32     // location ID -> def indices
 }
 
 // New computes the reaching-definitions solution for fn over its CFG.
@@ -42,9 +35,11 @@ func New(fn *pcode.Function, g *cfg.Graph) *DefUse {
 	du := &DefUse{
 		Fn:      fn,
 		G:       g,
-		defsAt:  make(map[int]int),
-		locDefs: make(map[locKey][]int),
-		slotOf:  make(map[int]pcode.Varnode),
+		defsAt:  make([]int32, len(fn.Ops)),
+		locDefs: make([][]int32, fn.NumLocs()),
+	}
+	for i := range du.defsAt {
+		du.defsAt[i] = -1
 	}
 	du.collectDefs()
 	du.solve()
@@ -64,55 +59,26 @@ func (du *DefUse) collectDefs() {
 		op := &ops[i]
 		switch {
 		case op.HasOut:
-			du.addDef(i, keyOf(op.Output))
-			if op.Code == pcode.LOAD {
-				if slot, ok := du.resolveSlot(i); ok {
-					du.slotOf[i] = slot
-				}
-			}
+			du.addDef(i, du.Fn.LocID(op.Output))
 		case op.Code == pcode.STORE:
-			if slot, ok := du.resolveSlot(i); ok {
-				du.slotOf[i] = slot
-				du.addDef(i, keyOf(slot))
+			if slot := du.Fn.SlotLocAt(i); slot != pcode.NoLoc {
+				du.addDef(i, slot)
 			}
 		}
 	}
 }
 
-func (du *DefUse) addDef(opIdx int, loc locKey) {
-	idx := len(du.defOps)
-	du.defOps = append(du.defOps, opIdx)
+func (du *DefUse) addDef(opIdx int, loc pcode.LocID) {
+	idx := int32(len(du.defOps))
+	du.defOps = append(du.defOps, int32(opIdx))
 	du.defLoc = append(du.defLoc, loc)
 	du.defsAt[opIdx] = idx
 	du.locDefs[loc] = append(du.locDefs[loc], idx)
 }
 
-// resolveSlot pattern-matches the effective-address computation of a
-// LOAD/STORE at opIdx: the address unique must be defined by the preceding
-// INT_ADD(SP, const) the lifter emitted for the same instruction.
-func (du *DefUse) resolveSlot(opIdx int) (pcode.Varnode, bool) {
-	op := &du.Fn.Ops[opIdx]
-	if len(op.Inputs) == 0 || op.Inputs[0].Space != pcode.SpaceUnique {
-		return pcode.Varnode{}, false
-	}
-	if opIdx == 0 {
-		return pcode.Varnode{}, false
-	}
-	ea := &du.Fn.Ops[opIdx-1]
-	if !ea.HasOut || ea.Output != op.Inputs[0] || ea.Code != pcode.INT_ADD {
-		return pcode.Varnode{}, false
-	}
-	base, ok := ea.Inputs[0].Reg()
-	if !ok || base != isa.SP || !ea.Inputs[1].IsConst() {
-		return pcode.Varnode{}, false
-	}
-	return SlotVarnode(uint32(ea.Inputs[1].Offset)), true
-}
-
 // Slot returns the resolved stack-slot varnode of a LOAD/STORE op, if any.
 func (du *DefUse) Slot(opIdx int) (pcode.Varnode, bool) {
-	v, ok := du.slotOf[opIdx]
-	return v, ok
+	return du.Fn.SlotAt(opIdx)
 }
 
 // solve runs the classic iterative reaching-definitions fixpoint.
@@ -130,20 +96,20 @@ func (du *DefUse) solve() {
 		kill[b] = newBitset(ndefs)
 		blk := du.G.Blocks[b]
 		for i := blk.Start; i < blk.End; i++ {
-			di, defines := du.defsAt[i]
-			if !defines {
+			di := du.defsAt[i]
+			if di < 0 {
 				continue
 			}
 			loc := du.defLoc[di]
 			// This def kills all other defs of the same location.
 			for _, other := range du.locDefs[loc] {
 				if other != di {
-					gen[b].clear(other)
-					kill[b].set(other)
+					gen[b].clear(int(other))
+					kill[b].set(int(other))
 				}
 			}
-			gen[b].set(di)
-			kill[b].clear(di)
+			gen[b].set(int(di))
+			kill[b].clear(int(di))
 		}
 	}
 
@@ -171,7 +137,10 @@ func (du *DefUse) solve() {
 // ReachingDefs returns the op indices of the definitions of location v that
 // reach the program point just before opIdx.
 func (du *DefUse) ReachingDefs(opIdx int, v pcode.Varnode) []int {
-	loc := keyOf(v)
+	loc := du.Fn.LocID(v)
+	if loc == pcode.NoLoc {
+		return nil
+	}
 	candidates := du.locDefs[loc]
 	if len(candidates) == 0 {
 		return nil
@@ -181,20 +150,20 @@ func (du *DefUse) ReachingDefs(opIdx int, v pcode.Varnode) []int {
 		return nil
 	}
 	// Walk the block from its start to opIdx, tracking the last local def.
-	lastLocal := -1
+	lastLocal := int32(-1)
 	for i := blk.Start; i < opIdx; i++ {
-		if di, ok := du.defsAt[i]; ok && du.defLoc[di] == loc {
+		if di := du.defsAt[i]; di >= 0 && du.defLoc[di] == loc {
 			lastLocal = di
 		}
 	}
 	if lastLocal >= 0 {
-		return []int{du.defOps[lastLocal]}
+		return []int{int(du.defOps[lastLocal])}
 	}
 	// Otherwise every def of loc in the block's IN set reaches.
 	var out []int
 	for _, di := range candidates {
-		if du.in[blk.ID].has(di) {
-			out = append(out, du.defOps[di])
+		if du.in[blk.ID].has(int(di)) {
+			out = append(out, int(du.defOps[di]))
 		}
 	}
 	return out
@@ -203,9 +172,13 @@ func (du *DefUse) ReachingDefs(opIdx int, v pcode.Varnode) []int {
 // DefSites returns the op indices of all definitions of location v anywhere
 // in the function.
 func (du *DefUse) DefSites(v pcode.Varnode) []int {
+	loc := du.Fn.LocID(v)
+	if loc == pcode.NoLoc {
+		return nil
+	}
 	var out []int
-	for _, di := range du.locDefs[keyOf(v)] {
-		out = append(out, du.defOps[di])
+	for _, di := range du.locDefs[loc] {
+		out = append(out, int(du.defOps[di]))
 	}
 	return out
 }

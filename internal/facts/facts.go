@@ -103,6 +103,22 @@ func (p *Program) CallGraph() *callgraph.Graph {
 	return p.cg
 }
 
+// Release drops every per-function artifact handle the store has
+// accumulated, letting the CFG/def-use/constprop solutions of functions
+// that were requested once and never again be collected even while the
+// store itself stays reachable. The single-flight guarantee is scoped by
+// it: artifacts requested after a Release recompute. The caller must
+// ensure no artifact request is in flight and no consumer still holds a
+// *Func it expects to stay coherent with the store — the intended call
+// site is the batch runner between images, after one image's analysis has
+// fully quiesced. The program call graph is deliberately kept: it is one
+// small artifact per executable, not a per-function accumulation.
+func (p *Program) Release() {
+	p.mu.Lock()
+	p.funcs = make(map[uint32]*Func)
+	p.mu.Unlock()
+}
+
 // Func returns the per-function artifact handle for fn, creating it on
 // first request. The handle is shared: two goroutines asking for the same
 // function receive the same *Func, and its artifacts compute single-flight.

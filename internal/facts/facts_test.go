@@ -88,6 +88,38 @@ func TestFuncHandlesAreDistinctPerFunction(t *testing.T) {
 	}
 }
 
+// TestRelease: releasing the store drops the per-function handles so
+// later requests get fresh ones (the single-flight guarantee is scoped by
+// Release), while the call graph — one small per-program artifact — is
+// deliberately kept.
+func TestRelease(t *testing.T) {
+	prog := twoFuncProg(t)
+	fx := New(prog)
+	fn := prog.Funcs[0]
+
+	before := fx.Func(fn)
+	cfgBefore := before.CFG()
+	before.Consts()
+	cg := fx.CallGraph()
+
+	fx.Release()
+
+	after := fx.Func(fn)
+	if after == before {
+		t.Fatal("Release kept the old per-function handle")
+	}
+	if after.CFG() == cfgBefore {
+		t.Error("Release kept the old CFG solution")
+	}
+	if fx.CallGraph() != cg {
+		t.Error("Release dropped the call graph; it should be kept")
+	}
+	// The refreshed handle still single-flights its own artifacts.
+	if after.Consts() != after.Consts() {
+		t.Error("refreshed handle artifacts are not stable")
+	}
+}
+
 // TestCallGraphOnce: the call graph is built once and shared, and reflects
 // the program's edges.
 func TestCallGraphOnce(t *testing.T) {

@@ -126,6 +126,14 @@ func (im *Image) Pack() []byte {
 }
 
 // Unpack parses and integrity-checks a packed firmware image.
+//
+// Ownership: Unpack is zero-copy — every File.Data aliases a sub-slice of
+// raw rather than copying it, so unpacking a corpus costs no per-file
+// allocations. The caller must treat raw as immutable for the lifetime of
+// the returned Image (the analysis pipeline never mutates file bytes, and
+// every File.Data is capacity-clamped so an append by a consumer
+// reallocates instead of scribbling into a neighbouring file). Callers
+// that do mutate the backing buffer after unpacking must copy first.
 func Unpack(raw []byte) (*Image, error) {
 	if len(raw) < len(Magic)+4 {
 		return nil, fmt.Errorf("image: too short (%d bytes)", len(raw))
@@ -173,7 +181,7 @@ func Unpack(raw []byte) (*Image, error) {
 		if err != nil {
 			return nil, fmt.Errorf("image: file %d data: %w", i, err)
 		}
-		f.Data = append([]byte(nil), data...)
+		f.Data = data[:len(data):len(data)] // alias raw, capacity-clamped
 		im.Files = append(im.Files, f)
 	}
 	if !r.done() {

@@ -136,3 +136,26 @@ func TestPackUnpackProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestUnpackZeroCopyAliasesRaw(t *testing.T) {
+	// The zero-copy ownership contract: File.Data aliases the packed
+	// buffer (no per-file copy), and its capacity is clamped so a consumer
+	// append reallocates instead of overwriting the next file.
+	raw := sample().Pack()
+	im, err := Unpack(raw)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	for _, f := range im.Files {
+		if len(f.Data) == 0 {
+			continue
+		}
+		off := bytes.Index(raw, f.Data)
+		if off < 0 || &raw[off] != &f.Data[0] {
+			t.Fatalf("%s: Data does not alias the raw buffer", f.Path)
+		}
+		if cap(f.Data) != len(f.Data) {
+			t.Fatalf("%s: cap %d > len %d — append would scribble into raw", f.Path, cap(f.Data), len(f.Data))
+		}
+	}
+}

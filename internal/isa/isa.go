@@ -67,18 +67,23 @@ func ArgReg(i int) Reg {
 	return R1 + Reg(i)
 }
 
+// regNames precomputes the in-range register names; Reg.String sits on
+// hot rendering paths and must not format.
+var regNames = func() (n [NumRegs]string) {
+	for r := range n {
+		n[r] = fmt.Sprintf("r%d", r)
+	}
+	n[SP] = "sp"
+	n[RA] = "ra"
+	return
+}()
+
 // String returns the conventional assembly name of the register.
 func (r Reg) String() string {
-	switch {
-	case r == SP:
-		return "sp"
-	case r == RA:
-		return "ra"
-	case r < NumRegs:
-		return fmt.Sprintf("r%d", uint8(r))
-	default:
-		return fmt.Sprintf("reg?%d", uint8(r))
+	if r < NumRegs {
+		return regNames[r]
 	}
+	return fmt.Sprintf("reg?%d", uint8(r))
 }
 
 // Valid reports whether the register index is within the register file.
@@ -216,18 +221,30 @@ func Decode(b []byte) (Instruction, error) {
 // DecodeAll decodes a text segment into instructions. The byte length must be
 // a multiple of InstrSize.
 func DecodeAll(text []byte) ([]Instruction, error) {
+	return DecodeAppend(nil, text)
+}
+
+// DecodeAppend decodes text into dst, reusing its capacity — the
+// allocation-free form the lifter's pooled scratch buffers use. On error
+// the (possibly grown) dst is still returned so a pooled buffer keeps its
+// capacity.
+func DecodeAppend(dst []Instruction, text []byte) ([]Instruction, error) {
 	if len(text)%InstrSize != 0 {
-		return nil, fmt.Errorf("isa: text length %d not a multiple of %d", len(text), InstrSize)
+		return dst, fmt.Errorf("isa: text length %d not a multiple of %d", len(text), InstrSize)
 	}
-	out := make([]Instruction, 0, len(text)/InstrSize)
+	if need := len(dst) + len(text)/InstrSize; cap(dst) < need {
+		grown := make([]Instruction, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
 	for off := 0; off < len(text); off += InstrSize {
 		in, err := Decode(text[off:])
 		if err != nil {
-			return nil, fmt.Errorf("isa: at offset %#x: %w", off, err)
+			return dst, fmt.Errorf("isa: at offset %#x: %w", off, err)
 		}
-		out = append(out, in)
+		dst = append(dst, in)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // String renders the instruction in assembly syntax.

@@ -171,7 +171,8 @@ func (r *Runner) RunFacts(ctx context.Context, fx *facts.Program, executable str
 	slots := make([][]Diagnostic, len(prog.Funcs))
 	parallel.ForEach(ctx, workers, len(prog.Funcs), func(i int) {
 		fn := prog.Funcs[i]
-		sp := obs.StartChild(ctx, "lint-fn", obs.String("fn", fn.Name()))
+		sp := obs.StartChild(ctx, "lint-fn")
+		sp.AddString("fn", fn.Name())
 		fc := &FuncContext{Func: fx.Func(fn)}
 		for _, c := range r.checkers {
 			found := c.Check(fc)
@@ -185,7 +186,7 @@ func (r *Runner) RunFacts(ctx context.Context, fx *facts.Program, executable str
 				slots[i] = append(slots[i], d)
 			}
 		}
-		sp.AddAttr(obs.Int("diags", len(slots[i])))
+		sp.AddInt("diags", len(slots[i]))
 		sp.End()
 	})
 	met.Counter("lint_functions_total").Add(int64(len(prog.Funcs)))

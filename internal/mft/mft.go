@@ -6,7 +6,6 @@
 package mft
 
 import (
-	"hash/fnv"
 	"strconv"
 
 	"firmres/internal/taint"
@@ -165,15 +164,36 @@ func (t *Tree) Paths() []Path {
 	return out
 }
 
-func hashPath(nodes []*SNode) uint64 {
-	h := fnv.New64a()
-	for _, n := range nodes {
-		h.Write([]byte(n.Orig.Label()))
-		h.Write([]byte{0})
-		h.Write([]byte(strconv.Itoa(n.Orig.OpIdx)))
-		h.Write([]byte{1})
+// FNV-1a parameters (matching hash/fnv's 64-bit variant); the hash is
+// inlined so hashing a path allocates nothing beyond its labels.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
 	}
-	return h.Sum64()
+	return h
+}
+
+func hashPath(nodes []*SNode) uint64 {
+	h := uint64(fnvOffset64)
+	var buf [20]byte
+	for _, n := range nodes {
+		h = fnvString(h, n.Orig.Label())
+		h ^= 0
+		h *= fnvPrime64
+		for _, c := range strconv.AppendInt(buf[:0], int64(n.Orig.OpIdx), 10) {
+			h ^= uint64(c)
+			h *= fnvPrime64
+		}
+		h ^= 1
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // Annotate attaches recovered field semantics to the leaf of each path,

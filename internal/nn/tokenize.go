@@ -16,37 +16,70 @@ import "strings"
 // lower-cased, so "cJSON_AddStringToObject" yields
 // ["c", "json", "add", "string", "to", "object"].
 func Tokenize(text string) []string {
-	var out []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() > 0 {
-			out = append(out, strings.ToLower(cur.String()))
-			cur.Reset()
-		}
+	return TokenizeAppend(nil, text)
+}
+
+// punctTokens holds the kept punctuation marks as preallocated one-byte
+// strings (indexed by byte) so emitting them never allocates or hashes.
+var punctTokens = func() (t [256]string) {
+	for _, c := range []byte{'=', '&', '?', '%', '/', ':', '{', '}', '"'} {
+		t[c] = string([]byte{c})
 	}
+	return
+}()
+
+// TokenizeAppend is Tokenize appending into dst, reusing its capacity —
+// the allocation-lean form for hot loops that tokenize many short
+// renderings. Tokens that are already lower-case in text are returned as
+// substrings aliasing it (strings are immutable, so sharing is safe);
+// only mixed-case tokens allocate for their lower-cased copy.
+//
+// The scan is byte-wise but exactly matches the rune-wise definition:
+// every byte of a non-ASCII rune falls into the separator class, just as
+// the whole rune does.
+func TokenizeAppend(dst []string, text string) []string {
+	out := dst
+	start := -1       // start offset of the current token, -1 when none
+	hasUpper := false // current token needs lower-casing
 	prevLower := false
-	for _, r := range text {
-		switch {
-		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
-			cur.WriteRune(r)
-			prevLower = r >= 'a' && r <= 'z'
-		case r >= 'A' && r <= 'Z':
-			if prevLower {
-				flush()
+	flush := func(end int) {
+		if start >= 0 {
+			tok := text[start:end]
+			if hasUpper {
+				tok = strings.ToLower(tok)
 			}
-			cur.WriteRune(r)
+			out = append(out, tok)
+		}
+		start = -1
+		hasUpper = false
+	}
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			if start < 0 {
+				start = i
+			}
+			prevLower = c >= 'a' && c <= 'z'
+		case c >= 'A' && c <= 'Z':
+			if prevLower {
+				flush(i)
+			}
+			if start < 0 {
+				start = i
+			}
+			hasUpper = true
 			prevLower = false
 		default:
-			flush()
+			flush(i)
 			prevLower = false
 			// Keep a few semantically loaded punctuation marks as tokens.
-			switch r {
-			case '=', '&', '?', '%', '/', ':', '{', '}', '"':
-				out = append(out, string(r))
+			if p := punctTokens[c]; p != "" {
+				out = append(out, p)
 			}
 		}
 	}
-	flush()
+	flush(len(text))
 	return out
 }
 

@@ -1,0 +1,52 @@
+// AllocsPerRun counts are only meaningful without race instrumentation,
+// which perturbs escape analysis and allocation behavior.
+//go:build !race
+
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// The disabled observability path must be truly free: pipeline hot loops
+// open a span and bump counters per MFT/slice/function, so a single heap
+// allocation here multiplies across the corpus. These gates pin the
+// disabled cost to zero allocations; `make check` runs them, so a
+// regression (say, a variadic attr slice escaping again) fails CI.
+
+func TestDisabledSpanZeroAllocs(t *testing.T) {
+	ctx := context.Background() // no span attached
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := StartChild(ctx, "hot-loop")
+		sp.AddString("fn", "handler")
+		sp.AddInt("slices", 7)
+		sp.SetStatus("ok")
+		sp.End()
+	}); n != 0 {
+		t.Errorf("disabled span path allocates %v per op, want 0", n)
+	}
+}
+
+func TestDisabledCounterZeroAllocs(t *testing.T) {
+	var met *Metrics // disabled
+	if n := testing.AllocsPerRun(1000, func() {
+		met.Counter("taint_steps_total").Inc()
+		met.Counter("message_fields_total", "label", "DevSecret").Add(3)
+		met.Histogram("fields_per_message").Observe(5)
+	}); n != 0 {
+		t.Errorf("disabled counter/histogram path allocates %v per op, want 0", n)
+	}
+}
+
+func TestDisabledRecorderZeroAllocs(t *testing.T) {
+	var rec *Recorder
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := rec.StartSpan(nil, "image")
+		child := sp.Child("stage")
+		child.End()
+		sp.End()
+	}); n != 0 {
+		t.Errorf("disabled recorder path allocates %v per op, want 0", n)
+	}
+}

@@ -23,6 +23,22 @@ func TestWorkersClamp(t *testing.T) {
 	}
 }
 
+func TestCPUWorkersClamp(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct{ n, want int }{
+		{0, max},       // 0 means GOMAXPROCS
+		{-1, max},      // negative too
+		{max, max},     // at the cap
+		{max + 7, max}, // never beyond the processor count
+		{1, 1},         // explicit sequential survives
+	}
+	for _, c := range cases {
+		if got := CPUWorkers(c.n); got != c.want {
+			t.Errorf("CPUWorkers(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
 func TestForEachVisitsEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{1, 2, 8, 0} {
 		const n = 500
@@ -80,5 +96,118 @@ func TestForEachZeroItems(t *testing.T) {
 	ForEach(context.Background(), 4, 0, func(int) { called = true })
 	if called {
 		t.Error("fn called with zero items")
+	}
+}
+
+func TestQueueTakeAndStealPartitionRange(t *testing.T) {
+	// Front-takes and back-steals must hand out each index exactly once
+	// and keep the range contiguous until it drains.
+	q := &queue{lo: 0, hi: 100}
+	seen := make([]int, 100)
+	steal := false
+	for {
+		var lo, hi int
+		var ok bool
+		if steal {
+			lo, hi, ok = q.stealHalf()
+		} else {
+			lo, hi, ok = q.take()
+		}
+		if !ok {
+			// A failed steal can leave a 1-element remainder for the owner;
+			// only a failed take proves the range is drained.
+			if !steal {
+				break
+			}
+			steal = false
+			continue
+		}
+		steal = !steal
+		if lo >= hi {
+			t.Fatalf("empty claim [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d claimed %d times", i, c)
+		}
+	}
+}
+
+func TestForEachUnevenTaskCostsRebalance(t *testing.T) {
+	// The first quarter of the input is expensive; with static partitioning
+	// worker 0 would serialize it. Stealing must still visit every index
+	// exactly once (the determinism contract) regardless of who ran what.
+	const n = 64
+	counts := make([]atomic.Int32, n)
+	ForEach(context.Background(), 8, n, func(i int) {
+		if i < n/4 {
+			for j := 0; j < 50_000; j++ {
+				_ = j * j
+			}
+		}
+		counts[i].Add(1)
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForEachRanCountExactWithoutCancel(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		const n = 237 // deliberately not a multiple of the worker count
+		if ran := ForEach(context.Background(), workers, n, func(int) {}); ran != n {
+			t.Errorf("workers=%d: ran=%d, want %d", workers, ran, n)
+		}
+	}
+}
+
+func TestForEachPanicStopsChunkMates(t *testing.T) {
+	// A panic must halt workers that are mid-chunk: total executed stays
+	// well short of n, and the first panic value is re-raised.
+	const n = 100_000
+	var ran atomic.Int32
+	func() {
+		defer func() {
+			if r := recover(); r != "first" {
+				t.Errorf("recovered %v, want \"first\"", r)
+			}
+		}()
+		ForEach(context.Background(), 4, n, func(i int) {
+			if ran.Add(1) == 10 {
+				panic("first")
+			}
+		})
+		t.Error("ForEach returned after panic")
+	}()
+	if got := ran.Load(); got >= n {
+		t.Errorf("all %d items ran despite panic", got)
+	}
+}
+
+func TestForEachCancelMidStealReturnsPromptly(t *testing.T) {
+	// Cancel while workers are in the steal loop: give one worker all the
+	// work (everyone else's range is empty from the start on a skewed
+	// split) and cancel from inside an early task. ForEach must return
+	// without executing the tail and report ran < n.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 50_000
+	var hits atomic.Int32
+	ran := ForEach(ctx, 16, n, func(i int) {
+		if hits.Add(1) == 3 {
+			cancel()
+		}
+	})
+	if ran >= n {
+		t.Errorf("ran=%d, want < %d after cancellation", ran, n)
+	}
+	if int(hits.Load()) != ran {
+		t.Errorf("ran=%d disagrees with executed count %d", ran, hits.Load())
 	}
 }

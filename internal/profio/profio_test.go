@@ -1,0 +1,45 @@
+package profio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFilePrefixWritesBothProfiles: file-prefix mode streams a CPU profile
+// during the run and writes a heap profile at stop, both non-empty.
+func TestFilePrefixWritesBothProfiles(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run")
+	warned := 0
+	stop, err := Start(prefix, func(format string, args ...any) { warned++ })
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn a little CPU and heap so the profiles have samples to encode.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i % 7
+	}
+	_ = sink
+	stop()
+	if warned != 0 {
+		t.Errorf("stop reported %d warnings", warned)
+	}
+	for _, path := range []string{prefix + CPUSuffix, prefix + HeapSuffix} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("missing profile: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+// TestBadPrefixFails: an uncreatable profile path is a startup error, not
+// a silent no-op.
+func TestBadPrefixFails(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no/such/dir/run"), t.Logf); err == nil {
+		t.Fatal("Start with uncreatable prefix succeeded")
+	}
+}

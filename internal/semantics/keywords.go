@@ -1,0 +1,230 @@
+package semantics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"firmres/internal/nn"
+	"firmres/internal/pcode"
+	"firmres/internal/slices"
+	"firmres/internal/taint"
+)
+
+// The keyword-dictionary classifier runs on every slice of every message,
+// which made tokenizing the full enriched slice text the hottest loop of
+// the pipeline. This file is the allocation-free fast path: the 53
+// dictionary keywords fit in a uint64, so "which keywords appear in this
+// token stream" becomes a bitmask, scoring becomes popcount against a
+// per-label mask, and each op's token mask is computed once and cached in
+// the Enricher alongside its rendering.
+//
+// Equivalence with the reference present-set scorer (scoreInto/pickLabel,
+// kept for ClassifyTokens and as the oracle in tests) rests on two facts
+// about nn.Tokenize:
+//   - ';' and ' ' flush the current token without emitting one, so
+//     tokenizing the " ; "-joined slice text yields exactly the
+//     concatenation of the per-segment token streams;
+//   - compound (adjacent-pair) keywords can therefore only form inside a
+//     segment — cached per op — or across a segment boundary, which the
+//     classifier stitches from the cached last/first tokens.
+
+// kwBits maps each dictionary keyword to its bit; kwPairs maps every
+// two-way split of a keyword to the same bit, so an adjacent token pair
+// (a, b) with a+b == keyword is found without concatenating strings.
+// labelMasks maps each label to the OR of its keywords' bits.
+var (
+	kwBits     map[string]uint64
+	kwPairs    map[[2]string]uint64
+	labelMasks map[string]uint64
+
+	// Lookup prefilters: most tokens in rendered slices are hex node ids
+	// and register names that can never be keywords, so a byte-indexed
+	// first-letter test and a length bound skip the map hash for them.
+	// A pair's left half starts with its keyword's first byte, so the
+	// same table filters pair lookups.
+	kwFirstByte [256]bool
+	kwMinLen    int
+	kwMaxLen    int
+)
+
+// numDictLabels sizes the dense score array; signatureIdx is Signature's
+// slot in dictPriority (the crypto-step bonus lands there). Both are
+// asserted against dictPriority at init.
+const (
+	numDictLabels = 6
+	signatureIdx  = 0
+)
+
+func init() {
+	if len(dictPriority) != numDictLabels || dictPriority[signatureIdx] != LabelSignature {
+		panic("semantics: dictPriority out of sync with numDictLabels/signatureIdx")
+	}
+	kwBits = make(map[string]uint64)
+	kwPairs = make(map[[2]string]uint64)
+	labelMasks = make(map[string]uint64)
+	next := 0
+	kwMinLen = 1 << 30
+	for _, label := range dictPriority {
+		for _, kw := range keywordDict[label] {
+			b, seen := kwBits[kw]
+			if !seen {
+				if next >= 64 {
+					panic(fmt.Sprintf("semantics: keyword dictionary exceeds 64 distinct keywords at %q", kw))
+				}
+				b = uint64(1) << next
+				next++
+				kwBits[kw] = b
+				kwFirstByte[kw[0]] = true
+				kwMinLen = min(kwMinLen, len(kw))
+				kwMaxLen = max(kwMaxLen, len(kw))
+				for i := 1; i < len(kw); i++ {
+					kwPairs[[2]string{kw[:i], kw[i:]}] |= b
+				}
+			}
+			labelMasks[label] |= b
+		}
+	}
+}
+
+// kwLookup is kwBits behind the prefilters.
+func kwLookup(t string) uint64 {
+	if len(t) < kwMinLen || len(t) > kwMaxLen || !kwFirstByte[t[0]] {
+		return 0
+	}
+	return kwBits[t]
+}
+
+// kwPairLookup is kwPairs behind the prefilters: the pair can only split
+// a keyword if the joint length fits and the left half starts one.
+func kwPairLookup(a, b string) uint64 {
+	if n := len(a) + len(b); n < kwMinLen || n > kwMaxLen || !kwFirstByte[a[0]] {
+		return 0
+	}
+	return kwPairs[[2]string{a, b}]
+}
+
+// tokensMask folds a token sequence into its keyword bitmask: unigram
+// hits plus adjacent-pair compounds, exactly the present-set scoreInto
+// builds.
+func tokensMask(tokens []string) uint64 {
+	var m uint64
+	for i, t := range tokens {
+		m |= kwLookup(t)
+		if i > 0 {
+			m |= kwPairLookup(tokens[i-1], t)
+		}
+	}
+	return m
+}
+
+// opTok is the cached token summary of one rendered op segment: its
+// keyword mask and the first/last tokens for stitching boundary pairs.
+// first == "" marks a segment with no tokens at all.
+type opTok struct {
+	mask        uint64
+	first, last string
+}
+
+func summarize(tokens []string) opTok {
+	if len(tokens) == 0 {
+		return opTok{}
+	}
+	return opTok{mask: tokensMask(tokens), first: tokens[0], last: tokens[len(tokens)-1]}
+}
+
+// tokScratch pools transient token slices: opTokens and contextMask only
+// need the mask and the first/last tokens, so the slice itself never
+// escapes a call. Entries are cleared before pooling so pooled capacity
+// does not pin token strings.
+var tokScratch = sync.Pool{New: func() any { s := make([]string, 0, 64); return &s }}
+
+// summarizeText tokenizes one segment through the pool.
+func summarizeText(text string) opTok {
+	sp := tokScratch.Get().(*[]string)
+	toks := nn.TokenizeAppend((*sp)[:0], text)
+	t := summarize(toks)
+	clear(toks)
+	*sp = toks[:0]
+	tokScratch.Put(sp)
+	return t
+}
+
+// opTokens returns the cached token summary of the op at opIdx, computing
+// it from the (also cached) rendering on first use.
+func (e *Enricher) opTokens(fn *pcode.Function, opIdx int) opTok {
+	key := opKey{fn.Addr(), opIdx}
+	e.mu.Lock()
+	t, ok := e.toks[key]
+	e.mu.Unlock()
+	if ok {
+		return t
+	}
+	t = summarizeText(e.Op(fn, opIdx))
+	e.mu.Lock()
+	e.toks[key] = t
+	e.mu.Unlock()
+	return t
+}
+
+// contextMask computes the keyword bitmask of the full enriched slice
+// text (what tokenizing Slice(s) and folding would produce) without
+// building or tokenizing that text: per-op masks come from the cache, and
+// only the short KEY/SRC header segments are tokenized per call.
+func (e *Enricher) contextMask(s slices.Slice) uint64 {
+	var mask uint64
+	prevLast := ""
+	seg := func(t opTok) {
+		if t.first == "" {
+			return
+		}
+		mask |= t.mask
+		if prevLast != "" {
+			mask |= kwPairLookup(prevLast, t.first)
+		}
+		prevLast = t.last
+	}
+	if s.KeyHint != "" {
+		seg(summarizeText("KEY " + s.KeyHint))
+	}
+	if s.Leaf != nil {
+		leaf := s.Leaf.Orig
+		src := "SRC " + leaf.Kind.String()
+		if leaf.Key != "" {
+			src += " " + leaf.Key
+		}
+		if leaf.Kind == taint.LeafString {
+			src += " " + fmt.Sprintf("%q", leaf.StrVal)
+		}
+		seg(summarizeText(src))
+	}
+	for _, step := range s.Steps {
+		if step.OpIdx < 0 || step.OpIdx >= len(step.Fn.Ops) {
+			continue
+		}
+		seg(e.opTokens(step.Fn, step.OpIdx))
+	}
+	return mask
+}
+
+// maskScores accumulates popcount scoring of one mask at a weight.
+func maskScores(scores []float64, mask uint64, weight float64) {
+	for i, label := range dictPriority {
+		scores[i] += float64(bits.OnesCount64(mask&labelMasks[label])) * weight
+	}
+}
+
+// pickLabelScores is pickLabel over the dense dictPriority-indexed score
+// array the fast path fills.
+func pickLabelScores(scores []float64) (string, float64) {
+	best, bestScore := LabelNone, 0.0
+	for i, label := range dictPriority {
+		if scores[i] > bestScore {
+			best, bestScore = label, scores[i]
+		}
+	}
+	if bestScore < minEvidence {
+		return LabelNone, 1
+	}
+	return best, bestScore / (bestScore + 1)
+}

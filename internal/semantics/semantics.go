@@ -14,6 +14,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -61,11 +62,13 @@ func EnrichOp(bin *binfmt.Binary, fn *pcode.Function, op *pcode.Op) string {
 	var b strings.Builder
 	b.WriteString(op.Code.String())
 	if op.Call != nil && op.Call.Name != "" {
-		fmt.Fprintf(&b, " (Fun, %s)", op.Call.Name)
+		b.WriteString(" (Fun, ")
+		b.WriteString(op.Call.Name)
+		b.WriteString(")")
 	}
 	if op.HasOut {
 		b.WriteString(" ")
-		b.WriteString(enrichVarnode(bin, fn, op.Output))
+		appendVarnode(&b, bin, fn, op.Output)
 		b.WriteString(" =")
 	}
 	for i, in := range op.Inputs {
@@ -73,26 +76,56 @@ func EnrichOp(bin *binfmt.Binary, fn *pcode.Function, op *pcode.Op) string {
 			b.WriteString(",")
 		}
 		b.WriteString(" ")
-		b.WriteString(enrichVarnode(bin, fn, in))
+		appendVarnode(&b, bin, fn, in)
 	}
 	return b.String()
 }
 
 // enrichVarnode renders a single operand tuple.
 func enrichVarnode(bin *binfmt.Binary, fn *pcode.Function, v pcode.Varnode) string {
+	var b strings.Builder
+	appendVarnode(&b, bin, fn, v)
+	return b.String()
+}
+
+// appendHex writes lower-case unpadded hex, the %x rendering.
+func appendHex(b *strings.Builder, x uint64) {
+	b.WriteString(strconv.FormatUint(x, 16))
+}
+
+// appendVarnode is enrichVarnode writing into a builder. Renderings run
+// once per op per image but that made fmt the hottest call under the
+// classifier, so the formats are spelled out with strconv; output is
+// byte-identical to the fmt.Sprintf originals (goldens pin this).
+func appendVarnode(b *strings.Builder, bin *binfmt.Binary, fn *pcode.Function, v pcode.Varnode) {
 	switch v.Space {
 	case pcode.SpaceConst:
 		addr := uint32(v.Offset)
 		if bin.InData(addr) {
 			if s, ok := bin.StringAt(addr); ok {
-				return fmt.Sprintf("(Cons, %q)", s)
+				b.WriteString("(Cons, ")
+				b.WriteString(strconv.Quote(s))
+				b.WriteString(")")
+				return
 			}
 			if sym, ok := bin.DataSymAt(addr); ok && sym.Name != "" {
-				return fmt.Sprintf("(DataPtr, %s, v%x)", sym.Name, sym.Addr)
+				b.WriteString("(DataPtr, ")
+				b.WriteString(sym.Name)
+				b.WriteString(", v")
+				appendHex(b, uint64(sym.Addr))
+				b.WriteString(")")
+				return
 			}
-			return fmt.Sprintf("(DataPtr, data_%x, v%x)", addr, addr)
+			b.WriteString("(DataPtr, data_")
+			appendHex(b, uint64(addr))
+			b.WriteString(", v")
+			appendHex(b, uint64(addr))
+			b.WriteString(")")
+			return
 		}
-		return fmt.Sprintf("(Cons, %#x)", v.Offset)
+		b.WriteString("(Cons, 0x")
+		appendHex(b, v.Offset)
+		b.WriteString(")")
 	case pcode.SpaceReg:
 		r, _ := v.Reg()
 		if lv, ok := bin.VarName(fn.Addr(), r); ok {
@@ -100,13 +133,31 @@ func enrichVarnode(bin *binfmt.Binary, fn *pcode.Function, v pcode.Varnode) stri
 			if lv.Kind == binfmt.VarParam {
 				kind = "Param"
 			}
-			return fmt.Sprintf("(%s, %s, v%x_%d)", kind, lv.Name, fn.Addr(), r)
+			b.WriteString("(")
+			b.WriteString(kind)
+			b.WriteString(", ")
+			b.WriteString(lv.Name)
+		} else {
+			b.WriteString("(Local, ")
+			b.WriteString(r.String())
 		}
-		return fmt.Sprintf("(Local, %s, v%x_%d)", r, fn.Addr(), r)
+		b.WriteString(", v")
+		appendHex(b, uint64(fn.Addr()))
+		b.WriteString("_")
+		b.WriteString(strconv.Itoa(int(r)))
+		b.WriteString(")")
 	case pcode.SpaceUnique:
-		return fmt.Sprintf("(Local, tmp_%x, u%x)", v.Offset, v.Offset)
+		b.WriteString("(Local, tmp_")
+		appendHex(b, v.Offset)
+		b.WriteString(", u")
+		appendHex(b, v.Offset)
+		b.WriteString(")")
 	default:
-		return fmt.Sprintf("(DataPtr, ram_%x, r%x)", v.Offset, v.Offset)
+		b.WriteString("(DataPtr, ram_")
+		appendHex(b, v.Offset)
+		b.WriteString(", r")
+		appendHex(b, v.Offset)
+		b.WriteString(")")
 	}
 }
 
@@ -120,9 +171,10 @@ func enrichVarnode(bin *binfmt.Binary, fn *pcode.Function, v pcode.Varnode) stri
 type Enricher struct {
 	bin *binfmt.Binary
 
-	mu  sync.Mutex
-	dus map[uint32]*dataflow.DefUse
-	ops map[opKey]string // rendered-op cache: slices share construction steps
+	mu   sync.Mutex
+	dus  map[uint32]*dataflow.DefUse
+	ops  map[opKey]string // rendered-op cache: slices share construction steps
+	toks map[opKey]opTok  // keyword-mask cache over the rendered ops (keywords.go)
 }
 
 type opKey struct {
@@ -133,9 +185,10 @@ type opKey struct {
 // NewEnricher builds an enricher for one binary.
 func NewEnricher(bin *binfmt.Binary) *Enricher {
 	return &Enricher{
-		bin: bin,
-		dus: make(map[uint32]*dataflow.DefUse),
-		ops: make(map[opKey]string),
+		bin:  bin,
+		dus:  make(map[uint32]*dataflow.DefUse),
+		ops:  make(map[opKey]string),
+		toks: make(map[opKey]opTok),
 	}
 }
 
@@ -179,11 +232,13 @@ func (e *Enricher) renderOp(fn *pcode.Function, opIdx int) string {
 	var b strings.Builder
 	b.WriteString(op.Code.String())
 	if op.Call != nil && op.Call.Name != "" {
-		fmt.Fprintf(&b, " (Fun, %s)", op.Call.Name)
+		b.WriteString(" (Fun, ")
+		b.WriteString(op.Call.Name)
+		b.WriteString(")")
 	}
 	if op.HasOut {
 		b.WriteString(" ")
-		b.WriteString(enrichVarnode(e.bin, fn, op.Output))
+		appendVarnode(&b, e.bin, fn, op.Output)
 		b.WriteString(" =")
 	}
 	for i, in := range op.Inputs {
@@ -191,14 +246,14 @@ func (e *Enricher) renderOp(fn *pcode.Function, opIdx int) string {
 			b.WriteString(",")
 		}
 		b.WriteString(" ")
-		b.WriteString(e.foldOperand(fn, opIdx, in))
+		appendVarnode(&b, e.bin, fn, e.foldOperand(fn, opIdx, in))
 	}
 	return b.String()
 }
 
 // foldOperand resolves an operand through single-copy reaching definitions
-// to its named or constant source before rendering.
-func (e *Enricher) foldOperand(fn *pcode.Function, opIdx int, v pcode.Varnode) string {
+// to its named or constant source.
+func (e *Enricher) foldOperand(fn *pcode.Function, opIdx int, v pcode.Varnode) pcode.Varnode {
 	cur := v
 	for hop := 0; hop < 8; hop++ {
 		if cur.IsConst() {
@@ -220,7 +275,7 @@ func (e *Enricher) foldOperand(fn *pcode.Function, opIdx int, v pcode.Varnode) s
 		cur = def.Inputs[0]
 		opIdx = defs[0]
 	}
-	return enrichVarnode(e.bin, fn, cur)
+	return cur
 }
 
 // Slice renders the full enriched code context of a slice: the key hint,
@@ -375,24 +430,28 @@ var dictPriority = []string{
 // slice context, because a multi-field construction step (one sprintf
 // formatting several fields) bleeds every field's identifiers into every
 // slice.
+// It scores on the keyword bitmasks of keywords.go — per-op masks are
+// cached in the enricher, so classifying a slice touches no slice text at
+// all — which is score-for-score identical to running scoreInto over the
+// tokenized Slice text (the equivalence test pins this).
 func (c *KeywordClassifier) Classify(s slices.Slice) (string, float64) {
-	scores := map[string]float64{}
-	scoreInto(scores, c.pool.tokens(s), 1)
-	scoreInto(scores, nn.Tokenize(s.KeyHint), 3)
+	var scores [numDictLabels]float64
+	maskScores(scores[:], c.pool.forSlice(s).contextMask(s), 1)
+	maskScores(scores[:], tokensMask(nn.Tokenize(s.KeyHint)), 3)
 	if s.Leaf != nil {
 		leaf := s.Leaf.Orig
-		scoreInto(scores, nn.Tokenize(leaf.Key), 3)
+		maskScores(scores[:], tokensMask(nn.Tokenize(leaf.Key)), 3)
 		if leaf.Kind == taint.LeafString {
-			scoreInto(scores, nn.Tokenize(leaf.StrVal), 3)
+			maskScores(scores[:], tokensMask(nn.Tokenize(leaf.StrVal)), 3)
 		}
 	}
 	// A key-derivation call on the construction path dominates the source
 	// vocabulary: hmac(device_secret, ...) builds a Signature, not a
 	// Dev-Secret (the learned model picks this up from the code context).
 	if sliceHasCryptoStep(s) {
-		scores[LabelSignature] += 5
+		scores[signatureIdx] += 5
 	}
-	return pickLabel(scores)
+	return pickLabelScores(scores[:])
 }
 
 // sliceHasCryptoStep reports whether the slice's path runs through a

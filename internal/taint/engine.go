@@ -121,10 +121,11 @@ func (e *Engine) AnalyzeContext(ctx context.Context, workers int) []*MFT {
 	e.sitesC.Add(int64(len(sites)))
 	slots := make([][]*MFT, len(sites))
 	parallel.ForEach(ctx, workers, len(sites), func(i int) {
-		sp := obs.StartChild(ctx, "taint-site",
-			obs.String("deliver", sites[i].name), obs.String("fn", sites[i].cs.Fn.Name()))
+		sp := obs.StartChild(ctx, "taint-site")
+		sp.AddString("deliver", sites[i].name)
+		sp.AddString("fn", sites[i].cs.Fn.Name())
 		slots[i] = e.traceDelivery(sites[i].cs, sites[i].name, sites[i].args)
-		sp.AddAttr(obs.Int("mfts", len(slots[i])))
+		sp.AddInt("mfts", len(slots[i]))
 		sp.End()
 		e.mftsC.Add(int64(len(slots[i])))
 	})

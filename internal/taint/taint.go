@@ -15,6 +15,7 @@ package taint
 
 import (
 	"fmt"
+	"strconv"
 
 	"firmres/internal/pcode"
 )
@@ -109,19 +110,21 @@ func (n *Node) Size() int {
 	return count
 }
 
-// Label renders a short human-readable description of the node.
+// Label renders a short human-readable description of the node. It runs
+// for every node of every path during path hashing, so the renderings are
+// plain concatenations (output identical to the earlier fmt forms).
 func (n *Node) Label() string {
 	switch n.Kind {
 	case NodeCall, NodeReturn:
-		return fmt.Sprintf("%s(%s)", n.Kind, n.Callee)
+		return n.Kind.String() + "(" + n.Callee + ")"
 	case NodeArg:
-		return fmt.Sprintf("arg(%s)", n.ArgLabel)
+		return "arg(" + n.ArgLabel + ")"
 	case LeafString:
-		return fmt.Sprintf("%q", n.StrVal)
+		return strconv.Quote(n.StrVal)
 	case LeafNumeric:
-		return fmt.Sprintf("%#x", n.ConstVal)
+		return "0x" + strconv.FormatUint(n.ConstVal, 16)
 	case LeafNVRAM, LeafConfig, LeafEnv, LeafFile:
-		return fmt.Sprintf("%s[%s]", n.Kind, n.Key)
+		return n.Kind.String() + "[" + n.Key + "]"
 	default:
 		return n.Kind.String()
 	}

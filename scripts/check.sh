@@ -48,6 +48,15 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== scheduler (work stealing: determinism, steal paths, panic, cancellation) under -race"
+go test -race ./internal/parallel
+
+echo "== allocation gates (obs disabled path at 0 allocs, per-MFT taint budget)"
+# Run without -race: AllocsPerRun counts are only meaningful uninstrumented
+# (the gate files are //go:build !race for the same reason).
+go test -run 'TestDisabledSpanZeroAllocs|TestDisabledCounterZeroAllocs|TestDisabledRecorderZeroAllocs' ./internal/obs
+go test -run 'TestPerMFTAllocBudget' ./internal/taint
+
 echo "== lint corpus precision (seeded positives, zero false positives)"
 go test -run 'TestCorpusSeededFindings|TestCorpusNegativesClean' ./internal/lint
 
