@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test check fuzz vet bench cover
+.PHONY: build test check fuzz vet bench cover serve-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,14 @@ check:
 # additionally enforces the floor in scripts/coverage_floor.txt.
 cover:
 	scripts/cover.sh
+
+# serve-smoke soaks the firmserve HTTP service end to end: concurrent
+# corpus submissions, a mid-run SIGKILL + journal resume with zero lost
+# jobs, /metrics validation, graceful SIGTERM drain, and a warm-cache
+# round that must answer >= 90% of jobs without recomputing. CI runs the
+# same script as the service-soak job.
+serve-smoke:
+	scripts/serve_smoke.sh
 
 fuzz:
 	$(GO) test -fuzz=FuzzUnpack -fuzztime=$(FUZZTIME) -run='^$$' ./internal/image

@@ -284,3 +284,37 @@ func TestClearCache(t *testing.T) {
 		t.Errorf("entries after ClearCache = %d, want 0", n)
 	}
 }
+
+func TestCachedReportProbe(t *testing.T) {
+	data := packedDevice(t, 7)
+	dir := t.TempDir()
+
+	// Cold cache: the probe misses without creating an entry.
+	if rep, hit, err := CachedReport(data, WithCache(dir)); rep != nil || hit || err != nil {
+		t.Fatalf("cold probe = (%v, %v, %v), want (nil, false, nil)", rep, hit, err)
+	}
+	if got := len(cacheEntries(t, dir)); got != 0 {
+		t.Fatalf("probe created %d cache entries", got)
+	}
+
+	want, err := AnalyzeImage(data, WithCache(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, hit, err := CachedReport(data, WithCache(dir))
+	if err != nil || !hit {
+		t.Fatalf("warm probe = (hit=%v, %v), want a hit", hit, err)
+	}
+	if got, wantS := marshalReport(t, rep), marshalReport(t, want); got != wantS {
+		t.Errorf("probed report diverged from analyzed report:\n%s\nvs\n%s", clip(got), clip(wantS))
+	}
+
+	// A different option fingerprint is a different key: no hit.
+	if _, hit, _ := CachedReport(data, WithCache(dir), WithLint()); hit {
+		t.Error("probe hit across an option-fingerprint change")
+	}
+	// No cache configured: the probe is inert.
+	if rep, hit, err := CachedReport(data); rep != nil || hit || err != nil {
+		t.Errorf("cacheless probe = (%v, %v, %v), want (nil, false, nil)", rep, hit, err)
+	}
+}

@@ -286,6 +286,16 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithReleaseFacts frees each image's program-facts store (per-function
+// CFG, def-use, constant propagation) as soon as its report is built, the
+// same lifetime trim the batch functions apply between corpus images. Use
+// it for long-running processes — analysis services, daemons — where many
+// sequential AnalyzeImage calls must not accumulate per-image artifacts.
+// The option never changes report contents or the cache key.
+func WithReleaseFacts() Option {
+	return func(c *config) { c.opts.ReleaseFacts = true }
+}
+
 // WithLint enables the lint-pass stage: pluggable checkers run over every
 // lifted function of the identified executable and report Diagnostics.
 func WithLint() Option {

@@ -75,6 +75,25 @@ var (
 	// FuncAt return an arbitrary winner; the parser now rejects the table so
 	// the ambiguity is surfaced instead of silently resolved.
 	ErrOverlappingSymbols = errors.New("overlapping function symbols")
+
+	// ErrQueueFull marks a job submission rejected because the service's
+	// bounded job queue is at capacity — back-pressure, not failure. HTTP
+	// front ends translate it to 429 with a Retry-After hint.
+	ErrQueueFull = errors.New("job queue full")
+
+	// ErrJobNotFound marks a job-ID lookup that matched nothing: never
+	// submitted, or journaled under a different data directory.
+	ErrJobNotFound = errors.New("job not found")
+
+	// ErrRateLimited marks a submission rejected by a tenant's token
+	// bucket. Like ErrQueueFull it is back-pressure: retry after the
+	// bucket refills.
+	ErrRateLimited = errors.New("tenant rate limit exceeded")
+
+	// ErrDraining marks work refused because the service is shutting down
+	// gracefully: intake is closed, inflight jobs are finishing, and
+	// queued jobs stay journaled for the next boot.
+	ErrDraining = errors.New("service draining")
 )
 
 // sentinels in display order, with their short kind slugs.
@@ -95,6 +114,40 @@ var sentinels = []struct {
 	{ErrCloudUnavailable, "cloud-unavailable"},
 	{ErrCacheCorrupt, "cache-corrupt"},
 	{ErrOverlappingSymbols, "overlapping-symbols"},
+	{ErrQueueFull, "queue-full"},
+	{ErrJobNotFound, "job-not-found"},
+	{ErrRateLimited, "rate-limited"},
+	{ErrDraining, "draining"},
+}
+
+// transients lists the sentinels whose failures are schedule- or
+// environment-dependent rather than properties of the input: a stage that
+// ran out of budget on a loaded box, a simulated cloud that could not bind
+// a listener, a cache entry that rotted on disk. Re-running the same work
+// can succeed, so the service layer's retry policy dispatches on this set.
+// Deterministic input failures (corrupt image, no device-cloud executable)
+// are deliberately absent — retrying them burns a worker to reach the same
+// verdict.
+var transients = map[error]bool{
+	ErrStageTimeout:     true,
+	ErrStagePanic:       true,
+	ErrCloudUnavailable: true,
+	ErrBreakerOpen:      true,
+	ErrProbeExhausted:   true,
+	ErrCacheCorrupt:     true,
+}
+
+// Transient reports whether err wraps a taxonomy sentinel worth retrying:
+// the failure came from timing, load, or storage rot, not from the input
+// itself. Errors outside the taxonomy report false — an unknown failure is
+// not assumed to heal on its own.
+func Transient(err error) bool {
+	for s := range transients {
+		if errors.Is(err, s) {
+			return true
+		}
+	}
+	return false
 }
 
 // Kind maps an error to the short slug of the taxonomy sentinel it wraps

@@ -89,3 +89,39 @@ func TestKindUnknown(t *testing.T) {
 		t.Errorf("Kind(unknown) = %q", got)
 	}
 }
+
+func TestTransientClassification(t *testing.T) {
+	transient := []error{
+		ErrStageTimeout, ErrStagePanic, ErrCloudUnavailable,
+		ErrBreakerOpen, ErrProbeExhausted, ErrCacheCorrupt,
+	}
+	for _, s := range transient {
+		if !Transient(fmt.Errorf("wrapped: %w", s)) {
+			t.Errorf("Transient(%v) = false, want true", s)
+		}
+	}
+	deterministic := []error{
+		ErrCorruptImage, ErrCorruptBinary, ErrNoDeviceCloudExecutable,
+		ErrQueueFull, ErrJobNotFound, ErrRateLimited, ErrDraining,
+		errors.New("anything else"), nil,
+	}
+	for _, s := range deterministic {
+		if Transient(s) {
+			t.Errorf("Transient(%v) = true, want false", s)
+		}
+	}
+}
+
+func TestServiceSentinelKinds(t *testing.T) {
+	cases := map[error]string{
+		ErrQueueFull:   "queue-full",
+		ErrJobNotFound: "job-not-found",
+		ErrRateLimited: "rate-limited",
+		ErrDraining:    "draining",
+	}
+	for err, want := range cases {
+		if got := Kind(fmt.Errorf("w: %w", err)); got != want {
+			t.Errorf("Kind(%v) = %q, want %q", err, got, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"sort"
 	"strings"
 	"time"
@@ -219,4 +220,18 @@ func WritePrometheus(w io.Writer, snapshot map[string]int64) error {
 		}
 	}
 	return nil
+}
+
+// MetricsHandler adapts a snapshot source into an HTTP scrape endpoint:
+// each GET calls snap and renders the result with WritePrometheus. snap is
+// called once per request on the request goroutine, so sources must be
+// safe for concurrent use (Metrics.Snapshot already is).
+func MetricsHandler(snap func() map[string]int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, snap()); err != nil {
+			// Headers are gone; all we can do is abort the body.
+			return
+		}
+	})
 }

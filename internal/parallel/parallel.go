@@ -222,3 +222,57 @@ func ForEach(ctx context.Context, workers, n int, fn func(int)) int {
 	}
 	return int(ran.Load())
 }
+
+// Fleet runs workers long-lived copies of body concurrently and blocks
+// until every one returns — the streaming counterpart to ForEach for
+// workloads with no pre-sized input range (a service's job queue, a
+// network accept loop). Each body receives its worker index and is
+// expected to loop pulling work from a shared source until that source
+// closes or ctx is cancelled; Fleet itself imposes no work distribution.
+//
+// The panic discipline matches ForEach: a panic in any body is recovered,
+// the shared ctx-derived stop context is cancelled so sibling workers can
+// wind down, and the first panic value is re-raised on the calling
+// goroutine once every worker has returned. The stop context is passed to
+// body; bodies must treat its cancellation as "drain and return".
+func Fleet(ctx context.Context, workers int, body func(ctx context.Context, worker int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	run := func(self int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicVal == nil {
+					panicVal = r
+				}
+				panicMu.Unlock()
+				cancel() // wind the siblings down
+			}
+		}()
+		body(stop, self)
+	}
+	for g := 1; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run(g)
+		}()
+	}
+	run(0) // the calling goroutine is worker 0
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

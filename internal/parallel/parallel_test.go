@@ -211,3 +211,58 @@ func TestForEachCancelMidStealReturnsPromptly(t *testing.T) {
 		t.Errorf("ran=%d disagrees with executed count %d", ran, hits.Load())
 	}
 }
+
+func TestFleetRunsEveryWorker(t *testing.T) {
+	var seen [5]atomic.Int32
+	Fleet(context.Background(), len(seen), func(ctx context.Context, worker int) {
+		seen[worker].Add(1)
+	})
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Errorf("worker %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestFleetClampsToOneWorker(t *testing.T) {
+	var ran atomic.Int32
+	Fleet(context.Background(), 0, func(ctx context.Context, worker int) {
+		if worker != 0 {
+			t.Errorf("unexpected worker id %d", worker)
+		}
+		ran.Add(1)
+	})
+	if ran.Load() != 1 {
+		t.Errorf("ran %d bodies, want exactly 1", ran.Load())
+	}
+}
+
+func TestFleetPanicCancelsSiblingsAndPropagates(t *testing.T) {
+	var cancelled atomic.Int32
+	func() {
+		defer func() {
+			if r := recover(); r != "fleet-boom" {
+				t.Errorf("recovered %v, want \"fleet-boom\"", r)
+			}
+		}()
+		Fleet(context.Background(), 4, func(ctx context.Context, worker int) {
+			if worker == 2 {
+				panic("fleet-boom")
+			}
+			<-ctx.Done() // siblings park until the panic winds them down
+			cancelled.Add(1)
+		})
+		t.Error("Fleet returned after panic")
+	}()
+	if got := cancelled.Load(); got != 3 {
+		t.Errorf("%d siblings saw cancellation, want 3", got)
+	}
+}
+
+func TestFleetHonorsCallerCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	Fleet(ctx, 3, func(ctx context.Context, worker int) {
+		<-ctx.Done() // pre-cancelled caller context must flow through
+	})
+}

@@ -1,0 +1,84 @@
+package serve
+
+// The event hub fans job lifecycle and per-stage progress events out to
+// SSE subscribers. Delivery is best-effort by design: a subscriber that
+// cannot keep up loses intermediate events, never blocks a worker, and
+// can always re-read the authoritative state from GET /v1/jobs/{id}.
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one server-sent notification about a job.
+type Event struct {
+	Type string `json:"type"` // "state" or "progress"
+	// state events carry the job; terminal states end the stream.
+	Job *Job `json:"job,omitempty"`
+	// progress events carry one finished pipeline stage.
+	Stage  string `json:"stage,omitempty"`
+	Status string `json:"status,omitempty"`
+	Millis int64  `json:"ms,omitempty"`
+}
+
+type hub struct {
+	mu   sync.Mutex
+	subs map[string]map[chan Event]struct{} // job ID → subscribers
+}
+
+func newHub() *hub {
+	return &hub{subs: map[string]map[chan Event]struct{}{}}
+}
+
+// subscribe registers a buffered channel for one job's events. cancel is
+// idempotent and must be called when the consumer leaves.
+func (h *hub) subscribe(jobID string) (ch chan Event, cancel func()) {
+	ch = make(chan Event, 64)
+	h.mu.Lock()
+	set := h.subs[jobID]
+	if set == nil {
+		set = map[chan Event]struct{}{}
+		h.subs[jobID] = set
+	}
+	set[ch] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs[jobID], ch)
+			if len(h.subs[jobID]) == 0 {
+				delete(h.subs, jobID)
+			}
+			h.mu.Unlock()
+		})
+	}
+}
+
+// publish delivers ev to every subscriber of the job, dropping it for
+// subscribers whose buffer is full.
+func (h *hub) publish(jobID string, ev Event) {
+	h.mu.Lock()
+	for ch := range h.subs[jobID] {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop, state remains readable via GET
+		}
+	}
+	h.mu.Unlock()
+}
+
+// sseFrame renders one event as an SSE data frame.
+func sseFrame(ev Event) []byte {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return nil
+	}
+	frame := make([]byte, 0, len(payload)+16)
+	frame = append(frame, "event: "...)
+	frame = append(frame, ev.Type...)
+	frame = append(frame, "\ndata: "...)
+	frame = append(frame, payload...)
+	frame = append(frame, "\n\n"...)
+	return frame
+}

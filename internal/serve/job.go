@@ -1,0 +1,77 @@
+// Package serve is the FirmServe service layer: a long-running front door
+// onto the analysis pipeline. It owns the persistent job queue (journaled
+// to disk with the same temp-file+rename discipline as internal/cache, so
+// a crash never loses an accepted job), the worker fleet that drains it
+// through one shared FirmCache, and the HTTP surface — submission with
+// sha256 dedup, status and result reads, streamed progress, Prometheus
+// metrics, and admission control (bounded queue, per-tenant token buckets,
+// graceful drain).
+//
+// The durability contract, in one line: an accepted submission (2xx) is
+// journaled before the response is written and reaches a terminal state —
+// done or failed — on this boot or a later one; SIGKILL between the two
+// re-runs the job, it never drops it.
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// JobState is a job's position in its lifecycle. Transitions only move
+// forward: queued → running → done|failed, with running → queued again on
+// a transient failure (retry) or a crash-resume replay.
+type JobState string
+
+const (
+	// StateQueued marks a job journaled and waiting for a worker (including
+	// jobs waiting out a retry backoff, and running jobs reverted by a
+	// crash-resume).
+	StateQueued JobState = "queued"
+	// StateRunning marks a job claimed by a worker.
+	StateRunning JobState = "running"
+	// StateDone marks a terminal success; the report is readable.
+	StateDone JobState = "done"
+	// StateFailed marks a terminal failure: a deterministic input error, or
+	// a transient one that exhausted its retry budget.
+	StateFailed JobState = "failed"
+)
+
+// Terminal reports whether the state is an endpoint of the lifecycle.
+func (s JobState) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Job is one submitted analysis, the unit the queue journals. The image
+// bytes live in the queue's content-addressed blob store under Digest;
+// the report, when done, in its result store under ID.
+type Job struct {
+	ID       string `json:"id"`
+	Digest   string `json:"digest"` // hex sha256 of the image bytes
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority"` // higher drains first; FIFO within a priority
+	Seq      uint64 `json:"seq"`      // admission order, the FIFO tie-break
+
+	State    JobState `json:"state"`
+	Attempts int      `json:"attempts"` // analysis attempts started
+	// CacheHit marks a job answered from the persistent result cache —
+	// either before enqueue (the submission fast path) or by its worker.
+	CacheHit bool `json:"cache_hit,omitempty"`
+
+	// ErrorKind and Error describe the last failure (terminal when State is
+	// failed, the retried cause while queued with Attempts > 0).
+	ErrorKind string `json:"error_kind,omitempty"`
+	Error     string `json:"error,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+}
+
+// jobID derives the stable, human-sortable job ID from admission order and
+// the image digest. Deterministic on purpose: restarts renumber nothing.
+func jobID(seq uint64, digest string) string {
+	short := digest
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	return fmt.Sprintf("j%08d-%s", seq, short)
+}

@@ -1,0 +1,86 @@
+package serve
+
+// Per-tenant admission control: one token bucket per API token. Buckets
+// refill continuously at Rate tokens/sec up to Burst; a submission takes
+// one token or is refused with a Retry-After hint. The tenant table is
+// bounded — tokens are attacker-chosen strings, so an unbounded map would
+// be a memory leak — and evicts the least-recently-seen tenant past the
+// cap, which at worst refills a throttled tenant early.
+
+import (
+	"sync"
+	"time"
+)
+
+const maxTenants = 1024
+
+// limiter hands out admission decisions per tenant.
+type limiter struct {
+	rate  float64 // tokens per second; <= 0 disables limiting
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // test seam
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time // last refill
+}
+
+func newLimiter(rate float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: map[string]*bucket{},
+		now:     time.Now,
+	}
+}
+
+// allow takes one token from the tenant's bucket. On refusal, retryAfter
+// estimates when one token will be back.
+func (l *limiter) allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[tenant]
+	if b == nil {
+		l.evict()
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// evict drops the least-recently-refilled bucket once the table is full.
+// Caller holds mu.
+func (l *limiter) evict() {
+	if len(l.buckets) < maxTenants {
+		return
+	}
+	var oldest string
+	var oldestAt time.Time
+	for t, b := range l.buckets {
+		if oldest == "" || b.last.Before(oldestAt) {
+			oldest, oldestAt = t, b.last
+		}
+	}
+	delete(l.buckets, oldest)
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestLimiter(rate float64, burst int) (*limiter, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	lim := newLimiter(rate, burst)
+	lim.now = clk.now
+	return lim, clk
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	lim, clk := newTestLimiter(1, 2) // 1/s, burst 2
+	for i := 0; i < 2; i++ {
+		if ok, _ := lim.allow("a"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := lim.allow("a")
+	if ok {
+		t.Fatal("request beyond burst allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Errorf("retry-after = %v, want (0, 1s]", retry)
+	}
+	clk.advance(time.Second)
+	if ok, _ := lim.allow("a"); !ok {
+		t.Error("refilled token refused")
+	}
+}
+
+func TestLimiterTenantsAreIndependent(t *testing.T) {
+	lim, _ := newTestLimiter(1, 1)
+	if ok, _ := lim.allow("a"); !ok {
+		t.Fatal("first tenant refused")
+	}
+	if ok, _ := lim.allow("b"); !ok {
+		t.Error("second tenant charged for the first tenant's token")
+	}
+	if ok, _ := lim.allow("a"); ok {
+		t.Error("exhausted tenant allowed")
+	}
+}
+
+func TestLimiterZeroRateDisables(t *testing.T) {
+	lim, _ := newTestLimiter(0, 1)
+	for i := 0; i < 100; i++ {
+		if ok, _ := lim.allow("a"); !ok {
+			t.Fatal("disabled limiter refused a request")
+		}
+	}
+}
+
+func TestLimiterBoundsTenantMap(t *testing.T) {
+	lim, _ := newTestLimiter(1, 1)
+	for i := 0; i < maxTenants*2; i++ {
+		lim.allow(fmt.Sprintf("tenant-%d", i))
+	}
+	lim.mu.Lock()
+	n := len(lim.buckets)
+	lim.mu.Unlock()
+	if n > maxTenants {
+		t.Errorf("limiter tracks %d tenants, cap is %d", n, maxTenants)
+	}
+}

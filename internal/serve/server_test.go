@@ -1,0 +1,279 @@
+package serve
+
+// HTTP surface tests: the full submit → analyze → fetch-report loop against
+// real corpus images, digest dedup, warm-cache prehits, every admission
+// refusal (rate limit, full queue, draining), and the /metrics and SSE
+// read paths.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"firmres/internal/corpus"
+)
+
+func deviceImage(t *testing.T, id int) []byte {
+	t.Helper()
+	img, err := corpus.BuildImage(corpus.Device(id))
+	if err != nil {
+		t.Fatalf("BuildImage(%d): %v", id, err)
+	}
+	return img.Pack()
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func submit(t *testing.T, s *Server, data []byte, hdr map[string]string) (*httptest.ResponseRecorder, submitResponse) {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/images", bytes.NewReader(data))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	var resp submitResponse
+	if rec.Code < 300 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("submit response: %v\n%s", err, rec.Body.String())
+		}
+	}
+	return rec, resp
+}
+
+func awaitTerminal(t *testing.T, s *Server, id string) jobResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		req := httptest.NewRequest("GET", "/v1/jobs/"+id, nil)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET job %s: %d %s", id, rec.Code, rec.Body.String())
+		}
+		var resp jobResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.State.Terminal() {
+			return resp
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return jobResponse{}
+}
+
+func TestServerSubmitAnalyzeFetchDedup(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 2})
+	s.Start()
+	defer s.Queue().Close()
+
+	img := deviceImage(t, 1)
+	rec, resp := submit(t, s, img, nil)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d %s, want 202", rec.Code, rec.Body.String())
+	}
+	if resp.State != StateQueued || resp.ID == "" {
+		t.Fatalf("accepted job = %+v", resp.Job)
+	}
+
+	done := awaitTerminal(t, s, resp.ID)
+	if done.State != StateDone {
+		t.Fatalf("job finished %s (%s: %s), want done", done.State, done.ErrorKind, done.Error)
+	}
+	if len(done.Report) == 0 || !json.Valid(done.Report) {
+		t.Fatalf("done job carries no valid report (%d bytes)", len(done.Report))
+	}
+
+	// Same bytes again: answered by the finished job, no new work.
+	rec2, resp2 := submit(t, s, img, nil)
+	if rec2.Code != http.StatusOK || !resp2.Deduped || resp2.ID != resp.ID {
+		t.Errorf("resubmit = %d deduped=%v id=%s, want 200 dedup to %s",
+			rec2.Code, resp2.Deduped, resp2.ID, resp.ID)
+	}
+}
+
+func TestServerCachePrehitAcrossBoots(t *testing.T) {
+	cacheDir := t.TempDir()
+	img := deviceImage(t, 2)
+
+	warm := newTestServer(t, Config{MaxInflight: 1, CacheDir: cacheDir})
+	warm.Start()
+	_, first := submit(t, warm, img, nil)
+	if got := awaitTerminal(t, warm, first.ID); got.State != StateDone {
+		t.Fatalf("warmup finished %s", got.State)
+	}
+	warm.Queue().Close()
+
+	// A fresh service on the same cache answers at submission time: 201,
+	// already done, flagged as a cache hit, no worker fleet needed.
+	cold := newTestServer(t, Config{CacheDir: cacheDir})
+	rec, resp := submit(t, cold, img, nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("warm-cache submit = %d %s, want 201", rec.Code, rec.Body.String())
+	}
+	if resp.State != StateDone || !resp.CacheHit {
+		t.Errorf("prehit job state=%s cache_hit=%v, want done/true", resp.State, resp.CacheHit)
+	}
+	if got := awaitTerminal(t, cold, resp.ID); len(got.Report) == 0 {
+		t.Error("prehit job has no stored report")
+	}
+}
+
+func TestServerQueueFullReturns429(t *testing.T) {
+	// Workers never started: the one queue slot stays occupied.
+	s := newTestServer(t, Config{Queue: QueueConfig{MaxQueued: 1}})
+	if rec, _ := submit(t, s, deviceImage(t, 1), nil); rec.Code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", rec.Code)
+	}
+	rec, _ := submit(t, s, deviceImage(t, 2), nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+func TestServerPerTenantRateLimit(t *testing.T) {
+	s := newTestServer(t, Config{RatePerSec: 0.0001, Burst: 1, Queue: QueueConfig{MaxQueued: 16}})
+	alice := map[string]string{"Authorization": "Bearer alice"}
+	if rec, _ := submit(t, s, deviceImage(t, 1), alice); rec.Code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", rec.Code)
+	}
+	rec, _ := submit(t, s, deviceImage(t, 2), alice)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second submit same tenant = %d, want 429", rec.Code)
+	}
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer", rec.Header().Get("Retry-After"))
+	}
+	// A different token is a different bucket.
+	bob := map[string]string{"X-API-Token": "bob"}
+	if rec, _ := submit(t, s, deviceImage(t, 2), bob); rec.Code != http.StatusAccepted {
+		t.Errorf("other tenant submit = %d, want 202", rec.Code)
+	}
+}
+
+func TestServerDrainRefusesIntake(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	rec, _ := submit(t, s, deviceImage(t, 1), nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining = %d, want 503", rec.Code)
+	}
+	hrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(hrec, httptest.NewRequest("GET", "/healthz", nil))
+	if hrec.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d, want 503", hrec.Code)
+	}
+}
+
+func TestServerBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec, _ := submit(t, s, nil, nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty body = %d, want 400", rec.Code)
+	}
+	req := httptest.NewRequest("POST", "/v1/images?priority=high", bytes.NewReader([]byte("x")))
+	prec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(prec, req)
+	if prec.Code != http.StatusBadRequest {
+		t.Errorf("bad priority = %d, want 400", prec.Code)
+	}
+	nrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(nrec, httptest.NewRequest("GET", "/v1/jobs/no-such-job", nil))
+	if nrec.Code != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", nrec.Code)
+	}
+	big := newTestServer(t, Config{MaxImageBytes: 8})
+	brec, _ := submit(t, big, []byte("123456789"), nil)
+	if brec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversize body = %d, want 413", brec.Code)
+	}
+}
+
+func TestServerMetricsExposition(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if rec, _ := submit(t, s, deviceImage(t, 1), nil); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d", rec.Code)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	got := map[string]int64{}
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || !strings.HasPrefix(name, "firmres_") {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("non-integer value in %q", line)
+		}
+		got[name] = n
+	}
+	for name, want := range map[string]int64{
+		"firmres_serve_queue_depth":                           1,
+		"firmres_serve_draining":                              0,
+		`firmres_serve_submissions_total{outcome="accepted"}`: 1,
+		`firmres_serve_jobs_total{state="queued"}`:            1,
+	} {
+		if got[name] != want {
+			t.Errorf("%s = %d, want %d", name, got[name], want)
+		}
+	}
+}
+
+func TestServerSSETerminalSnapshot(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 1})
+	s.Start()
+	defer s.Queue().Close()
+	_, resp := submit(t, s, deviceImage(t, 3), nil)
+	awaitTerminal(t, s, resp.ID)
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/v1/jobs/%s/events", resp.ID), nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.HasPrefix(body, "event: state\ndata: ") {
+		t.Fatalf("stream does not open with a state frame:\n%s", body)
+	}
+	var ev Event
+	payload := strings.TrimPrefix(strings.SplitN(body, "\n", 3)[1], "data: ")
+	if err := json.Unmarshal([]byte(payload), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Job == nil || !ev.Job.State.Terminal() {
+		t.Errorf("terminal job's snapshot frame = %+v, want terminal state", ev)
+	}
+}

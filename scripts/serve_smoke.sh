@@ -1,0 +1,216 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — the FirmServe service soak gate.
+#
+# Boots firmserve against the generated 22-device corpus and drives the
+# full service contract end to end:
+#
+#   round 1  submit every image twice with $CONCURRENCY concurrent
+#            clients, SIGKILL the server mid-run, restart it on the same
+#            data directory, and require every accepted job to reach a
+#            terminal state — the journal must lose nothing;
+#            then parse /metrics and drain on SIGTERM (exit 0, bounded).
+#   round 2  fresh data directory, same cache: resubmit the corpus and
+#            require >= $HIT_FLOOR_PCT% of jobs answered from the warm
+#            cache. Script-only devices fail terminally and failures are
+#            never cached, so 20/22 ~ 91% is the natural ceiling; the 90%
+#            floor sits just under it.
+#
+# CI runs this as the service-soak job; `make serve-smoke` runs it locally.
+# Needs only bash, curl, and the go toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CONCURRENCY="${CONCURRENCY:-8}"
+HIT_FLOOR_PCT="${HIT_FLOOR_PCT:-90}"
+POLL_DEADLINE="${POLL_DEADLINE:-120}"   # seconds for all jobs to go terminal
+DRAIN_DEADLINE="${DRAIN_DEADLINE:-30}"  # seconds for SIGTERM -> exit 0
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+	[ -n "${SERVER_PID}" ] && kill -9 "${SERVER_PID}" 2>/dev/null || true
+	rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+echo "== build firmserve + generate corpus"
+go build -o "${WORK}/firmserve" ./cmd/firmserve
+go run ./cmd/firmgen -out "${WORK}/corpus"
+IMAGES=("${WORK}"/corpus/device*.img)
+echo "   ${#IMAGES[@]} images"
+
+# boot <data-dir> <cache-dir>: starts firmserve, waits for readiness, and
+# sets SERVER_PID and BASE (http://host:port).
+boot() {
+	local data="$1" cache="$2" addrfile
+	addrfile="${WORK}/addr.$$.${RANDOM}"
+	"${WORK}/firmserve" -addr 127.0.0.1:0 -data "${data}" -cache "${cache}" \
+		-addr-file "${addrfile}" -drain-timeout "${DRAIN_DEADLINE}s" \
+		2>>"${WORK}/server.log" &
+	SERVER_PID=$!
+	for _ in $(seq 1 100); do
+		if [ -s "${addrfile}" ]; then
+			BASE="http://$(cat "${addrfile}")"
+			if curl -fsS "${BASE}/healthz" >/dev/null 2>&1; then
+				return 0
+			fi
+		fi
+		sleep 0.1
+	done
+	echo "FAIL: server did not become ready; log tail:" >&2
+	tail -20 "${WORK}/server.log" >&2
+	exit 1
+}
+
+# submit <image>: POST one image, append the job ID to $JOBS_FILE.
+# 2xx responses all carry a job; anything else fails the gate.
+submit() {
+	local img="$1" resp id
+	resp=$(curl -sS -X POST --data-binary "@${img}" \
+		-w '\n%{http_code}' "${BASE}/v1/images")
+	local code="${resp##*$'\n'}"
+	case "${code}" in
+	200 | 201 | 202) ;;
+	*)
+		echo "FAIL: submit ${img##*/} -> HTTP ${code}" >&2
+		echo "${resp}" >&2
+		return 1
+		;;
+	esac
+	id=$(printf '%s' "${resp}" | grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"\(j[^"]*\)"/\1/')
+	if [ -z "${id}" ]; then
+		echo "FAIL: submit ${img##*/} returned no job id" >&2
+		return 1
+	fi
+	echo "${id}" >>"${JOBS_FILE}"
+}
+
+# submit_all <list...>: run submissions with $CONCURRENCY concurrent clients.
+submit_all() {
+	local pids=() img
+	for img in "$@"; do
+		submit "${img}" &
+		pids+=($!)
+		if [ "${#pids[@]}" -ge "${CONCURRENCY}" ]; then
+			wait "${pids[0]}" || exit 1
+			pids=("${pids[@]:1}")
+		fi
+	done
+	local p
+	for p in "${pids[@]}"; do wait "${p}" || exit 1; done
+}
+
+# await_terminal: poll every job in $JOBS_FILE until all are done/failed.
+# A 404 on an accepted job is a lost job: instant failure.
+await_terminal() {
+	local deadline=$((SECONDS + POLL_DEADLINE)) id state remaining
+	local ids
+	mapfile -t ids < <(sort -u "${JOBS_FILE}")
+	while [ "${SECONDS}" -lt "${deadline}" ]; do
+		remaining=0
+		for id in "${ids[@]}"; do
+			state=$(curl -sS -w '\n%{http_code}' "${BASE}/v1/jobs/${id}")
+			if [ "${state##*$'\n'}" = "404" ]; then
+				echo "FAIL: accepted job ${id} vanished (404) — journal lost it" >&2
+				exit 1
+			fi
+			if ! printf '%s' "${state}" | grep -qE '"state": *"(done|failed)"'; then
+				remaining=$((remaining + 1))
+			fi
+		done
+		if [ "${remaining}" -eq 0 ]; then
+			echo "   all ${#ids[@]} jobs terminal"
+			return 0
+		fi
+		sleep 0.5
+	done
+	echo "FAIL: ${remaining} jobs still not terminal after ${POLL_DEADLINE}s" >&2
+	exit 1
+}
+
+echo "== round 1: concurrent submissions, SIGKILL mid-run, journal resume"
+JOBS_FILE="${WORK}/jobs1"
+: >"${JOBS_FILE}"
+boot "${WORK}/data1" "${WORK}/cache"
+# Every image twice: the twin either dedups against the live job or lands
+# as its own journaled entry — both must survive the crash below.
+submit_all "${IMAGES[@]}" "${IMAGES[@]}"
+echo "   $(sort -u "${JOBS_FILE}" | wc -l) distinct jobs accepted"
+
+kill -9 "${SERVER_PID}"
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+echo "   server SIGKILLed mid-run; restarting on the same journal"
+
+boot "${WORK}/data1" "${WORK}/cache"
+await_terminal
+
+echo "== /metrics parses and carries the service gauges"
+metrics=$(curl -fsS "${BASE}/metrics")
+if bad=$(printf '%s\n' "${metrics}" | grep -vE '^firmres_[A-Za-z0-9_]+({[^}]*})? -?[0-9]+$'); then
+	echo "FAIL: malformed exposition lines:" >&2
+	printf '%s\n' "${bad}" >&2
+	exit 1
+fi
+for gauge in serve_queue_depth serve_jobs_inflight serve_draining; do
+	if ! printf '%s\n' "${metrics}" | grep -q "^firmres_${gauge} "; then
+		echo "FAIL: /metrics missing firmres_${gauge}" >&2
+		exit 1
+	fi
+done
+echo "   $(printf '%s\n' "${metrics}" | wc -l) well-formed metric lines"
+
+echo "== graceful drain on SIGTERM (deadline ${DRAIN_DEADLINE}s)"
+kill -TERM "${SERVER_PID}"
+drain_ok=0
+for _ in $(seq 1 $((DRAIN_DEADLINE * 10))); do
+	if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+		drain_ok=1
+		break
+	fi
+	sleep 0.1
+done
+if [ "${drain_ok}" -ne 1 ]; then
+	echo "FAIL: server still alive ${DRAIN_DEADLINE}s after SIGTERM" >&2
+	exit 1
+fi
+if wait "${SERVER_PID}"; then
+	SERVER_PID=""
+	echo "   clean exit 0"
+else
+	rc=$?
+	SERVER_PID=""
+	echo "FAIL: drain exited ${rc}, want 0; log tail:" >&2
+	tail -20 "${WORK}/server.log" >&2
+	exit 1
+fi
+
+echo "== round 2: fresh journal, warm cache (floor ${HIT_FLOOR_PCT}% hits)"
+JOBS_FILE="${WORK}/jobs2"
+: >"${JOBS_FILE}"
+boot "${WORK}/data2" "${WORK}/cache"
+submit_all "${IMAGES[@]}"
+await_terminal
+
+total=0
+hits=0
+while read -r id; do
+	total=$((total + 1))
+	# Capture before grepping: `curl | grep -q` dies of EPIPE under
+	# pipefail when grep exits on the first match.
+	job=$(curl -sS "${BASE}/v1/jobs/${id}")
+	if grep -q '"cache_hit": *true' <<<"${job}"; then
+		hits=$((hits + 1))
+	fi
+done < <(sort -u "${JOBS_FILE}")
+pct=$((hits * 100 / total))
+echo "   ${hits}/${total} jobs answered from the warm cache (${pct}%)"
+if [ "${pct}" -lt "${HIT_FLOOR_PCT}" ]; then
+	echo "FAIL: warm-round cache hits ${pct}% < floor ${HIT_FLOOR_PCT}%" >&2
+	exit 1
+fi
+
+kill -TERM "${SERVER_PID}" 2>/dev/null || true
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+echo "== service soak passed"
