@@ -8,7 +8,7 @@
 // Usage:
 //
 //	firmserve [-addr host:port] [-data dir] [-cache dir] [-no-cache]
-//	          [-max-inflight n] [-max-queue n] [-retries n]
+//	          [-max-inflight n] [-max-queue n] [-retries n] [-retain n]
 //	          [-rate r] [-burst n] [-stage-timeout d] [-lint] [-stripped]
 //	          [-drain-timeout d] [-addr-file path]
 //
@@ -58,6 +58,7 @@ func run() int {
 		maxInflight  = flag.Int("max-inflight", 0, "concurrent analyses (0 = GOMAXPROCS)")
 		maxQueue     = flag.Int("max-queue", serve.DefaultMaxQueued, "max jobs waiting for a worker; full queue returns 429")
 		retries      = flag.Int("retries", serve.DefaultMaxAttempts, "analysis attempts per job for transient failures")
+		retain       = flag.Int("retain", serve.DefaultMaxTerminal, "finished jobs kept before the oldest (journal, result, unshared blob) are pruned; -1 = unlimited")
 		rate         = flag.Float64("rate", 0, "per-tenant submissions per second (0 = unlimited)")
 		burst        = flag.Int("burst", 16, "per-tenant burst size")
 		stageTimeout = flag.Duration("stage-timeout", 0, "per-stage analysis budget (0 = unlimited)")
@@ -80,6 +81,7 @@ func run() int {
 		Queue: serve.QueueConfig{
 			MaxQueued:   *maxQueue,
 			MaxAttempts: *retries,
+			MaxTerminal: *retain,
 		},
 	}
 	if !*noCache {

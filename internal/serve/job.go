@@ -44,8 +44,11 @@ func (s JobState) Terminal() bool { return s == StateDone || s == StateFailed }
 // bytes live in the queue's content-addressed blob store under Digest;
 // the report, when done, in its result store under ID.
 type Job struct {
-	ID       string `json:"id"`
-	Digest   string `json:"digest"` // hex sha256 of the image bytes
+	ID     string `json:"id"`
+	Digest string `json:"digest"` // hex sha256 of the image bytes
+	// Tenant is the submitting tenant's key — a hash of the API token,
+	// never the raw credential, so it is safe to journal and to echo in
+	// job listings and dedup responses.
 	Tenant   string `json:"tenant,omitempty"`
 	Priority int    `json:"priority"` // higher drains first; FIFO within a priority
 	Seq      uint64 `json:"seq"`      // admission order, the FIFO tie-break

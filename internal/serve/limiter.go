@@ -1,11 +1,12 @@
 package serve
 
-// Per-tenant admission control: one token bucket per API token. Buckets
-// refill continuously at Rate tokens/sec up to Burst; a submission takes
-// one token or is refused with a Retry-After hint. The tenant table is
-// bounded — tokens are attacker-chosen strings, so an unbounded map would
-// be a memory leak — and evicts the least-recently-seen tenant past the
-// cap, which at worst refills a throttled tenant early.
+// Per-tenant admission control: one token bucket per tenant key (the
+// hashed API token, see tenantOf). Buckets refill continuously at Rate
+// tokens/sec up to Burst; a submission takes one token or is refused with
+// a Retry-After hint. The tenant table is bounded — tokens are
+// attacker-chosen strings, so an unbounded map would be a memory leak —
+// and evicts the least-recently-seen tenant past the cap, which at worst
+// refills a throttled tenant early.
 
 import (
 	"sync"

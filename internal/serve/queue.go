@@ -19,6 +19,11 @@ package serve
 // state. A job that was running when the process died is reverted to
 // queued by the resume scan — analysis is pure, so the replay produces
 // the same report the lost run would have.
+//
+// Retention is bounded: once more than MaxTerminal terminal jobs are
+// held, the oldest-finished ones are pruned (journal, result, and any
+// blob no surviving job references), so the stores above cannot grow
+// without bound under sustained traffic.
 
 import (
 	"container/heap"
@@ -42,6 +47,7 @@ const (
 	DefaultMaxAttempts = 3
 	DefaultRetryBase   = 100 * time.Millisecond
 	DefaultRetryMax    = 5 * time.Second
+	DefaultMaxTerminal = 4096
 )
 
 // QueueConfig tunes one Queue. Zero values select the defaults above.
@@ -50,6 +56,13 @@ type QueueConfig struct {
 	MaxAttempts int           // analysis attempts per job before terminal failure
 	RetryBase   time.Duration // first retry delay; doubles per attempt
 	RetryMax    time.Duration // backoff cap
+
+	// MaxTerminal bounds the terminal jobs (done + failed) the queue
+	// retains. Past the cap the oldest-finished job is pruned: journal
+	// entry, result file, and — once no remaining job references its
+	// digest — the image blob. 0 selects DefaultMaxTerminal; negative
+	// disables pruning (unbounded growth, tests only).
+	MaxTerminal int
 
 	// OnTransition, when set, observes every state change with a copy of
 	// the job, after the change is journaled. Called without internal
@@ -70,6 +83,9 @@ func (c QueueConfig) withDefaults() QueueConfig {
 	if c.RetryMax <= 0 {
 		c.RetryMax = DefaultRetryMax
 	}
+	if c.MaxTerminal == 0 {
+		c.MaxTerminal = DefaultMaxTerminal
+	}
 	return c
 }
 
@@ -78,16 +94,17 @@ type Queue struct {
 	dir string
 	cfg QueueConfig
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	jobs    map[string]*Job        // every known job, terminal included
-	ready   jobHeap                // queued jobs eligible to run now
-	timers  map[string]*time.Timer // backoff timers for retrying jobs
-	byDig   map[string]string      // digest → newest job ID
-	queued  int                    // StateQueued jobs (ready + backing off)
-	running int
-	seq     uint64
-	closed  bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[string]*Job        // every known job, terminal included
+	ready     jobHeap                // queued jobs eligible to run now
+	timers    map[string]*time.Timer // backoff timers for retrying jobs
+	byDig     map[string]string      // digest → newest job ID
+	admitting map[string]int         // digest → in-flight admissions (pins the blob)
+	queued    int                    // StateQueued jobs (ready + backing off)
+	running   int
+	seq       uint64
+	closed    bool
 }
 
 // QueueCounts is a point-in-time census of the queue's job states.
@@ -109,11 +126,12 @@ func OpenQueue(dir string, cfg QueueConfig) (*Queue, error) {
 		}
 	}
 	q := &Queue{
-		dir:    dir,
-		cfg:    cfg.withDefaults(),
-		jobs:   map[string]*Job{},
-		timers: map[string]*time.Timer{},
-		byDig:  map[string]string{},
+		dir:       dir,
+		cfg:       cfg.withDefaults(),
+		jobs:      map[string]*Job{},
+		timers:    map[string]*time.Timer{},
+		byDig:     map[string]string{},
+		admitting: map[string]int{},
 	}
 	q.cond = sync.NewCond(&q.mu)
 	if err := q.resume(); err != nil {
@@ -150,6 +168,20 @@ func (q *Queue) resume() error {
 				return err
 			}
 		}
+		if j.State == StateDone {
+			if _, err := os.Stat(q.resultPath(j.ID)); err != nil {
+				// A done journal entry with no result file cannot honor a
+				// result read — demote and re-run. Unreachable under the
+				// result-before-journal write order; this guards journals
+				// written before that order held, and disk rot.
+				j.State = StateQueued
+				j.CacheHit = false
+				j.FinishedAt = time.Time{}
+				if err := q.persist(&j); err != nil {
+					return err
+				}
+			}
+		}
 		q.jobs[j.ID] = &j
 		if j.Seq >= q.seq {
 			q.seq = j.Seq + 1
@@ -162,6 +194,8 @@ func (q *Queue) resume() error {
 			heap.Push(&q.ready, &j)
 		}
 	}
+	// The retention cap may have shrunk since the journal was written.
+	q.pruneLocked()
 	return nil
 }
 
@@ -204,48 +238,90 @@ func (q *Queue) notify(j Job) {
 
 // Enqueue journals a new job for the image bytes and makes it eligible to
 // run. The blob is stored content-addressed (an already-present digest is
-// not rewritten). Returns errdefs.ErrQueueFull when the waiting-job bound
-// is hit and errdefs.ErrDraining after Close — both before anything is
-// journaled.
-func (q *Queue) Enqueue(digest string, data []byte, tenant string, priority int) (Job, error) {
-	j, err := q.admit(digest, data, tenant, priority, StateQueued)
-	if err != nil {
-		return Job{}, err
+// not rewritten). An existing non-failed job for the same digest answers
+// the submission instead of admitting a duplicate — deduped is true and
+// the returned job is that prior job; the dedup decision and the
+// admission are one critical section, so concurrent submissions of the
+// same bytes admit exactly one job. Returns errdefs.ErrQueueFull when the
+// waiting-job bound is hit and errdefs.ErrDraining after Close — both
+// before anything is journaled or written to the blob store.
+func (q *Queue) Enqueue(digest string, data []byte, tenant string, priority int) (j Job, deduped bool, err error) {
+	j, deduped, err = q.admit(digest, data, tenant, priority, StateQueued, nil)
+	if err != nil || deduped {
+		return j, deduped, err
 	}
 	q.notify(j)
-	return j, nil
+	return j, false, nil
 }
 
 // EnqueueDone journals a job that is already answered — the submission
 // fast path for persistent-cache hits. The job never occupies a queue
 // slot or a worker; it exists so status and result reads work uniformly.
-func (q *Queue) EnqueueDone(digest string, data []byte, tenant string, priority int, result []byte) (Job, error) {
-	j, err := q.admit(digest, data, tenant, priority, StateDone)
-	if err != nil {
-		return Job{}, err
-	}
-	if err := atomicWrite(q.resultPath(j.ID), result); err != nil {
-		return Job{}, err
+// The result file lands before the journal flips to done, so a crash
+// between the two re-runs the job rather than leaving a done job with no
+// report. Dedup behaves as in Enqueue (result ignored when deduped).
+func (q *Queue) EnqueueDone(digest string, data []byte, tenant string, priority int, result []byte) (j Job, deduped bool, err error) {
+	j, deduped, err = q.admit(digest, data, tenant, priority, StateDone, result)
+	if err != nil || deduped {
+		return j, deduped, err
 	}
 	q.notify(j)
-	return j, nil
+	return j, false, nil
 }
 
-func (q *Queue) admit(digest string, data []byte, tenant string, priority int, state JobState) (Job, error) {
-	blob := filepath.Join(q.dir, "blobs", digest)
-	if _, err := os.Stat(blob); err != nil {
-		if err := atomicWrite(blob, data); err != nil {
-			return Job{}, err
-		}
-	}
-	q.mu.Lock()
+// gateLocked applies the admission gauntlet that must hold both before
+// and after the blob write: drain refusal, digest dedup, queue bound.
+// deduped is true when an existing non-failed job for the digest answers
+// the submission. Caller holds mu.
+func (q *Queue) gateLocked(digest string, state JobState) (j Job, deduped bool, err error) {
 	if q.closed {
-		q.mu.Unlock()
-		return Job{}, fmt.Errorf("serve: %w", errdefs.ErrDraining)
+		return Job{}, false, fmt.Errorf("serve: %w", errdefs.ErrDraining)
+	}
+	if prev, ok := q.jobs[q.byDig[digest]]; ok && prev.State != StateFailed {
+		return *prev, true, nil
 	}
 	if state == StateQueued && q.queued >= q.cfg.MaxQueued {
+		return Job{}, false, fmt.Errorf("serve: %w (%d waiting)", errdefs.ErrQueueFull, q.cfg.MaxQueued)
+	}
+	return Job{}, false, nil
+}
+
+func (q *Queue) admit(digest string, data []byte, tenant string, priority int, state JobState, result []byte) (Job, bool, error) {
+	// Gauntlet before disk: a refused or deduplicated submission must
+	// leave no blob behind.
+	q.mu.Lock()
+	if j, deduped, err := q.gateLocked(digest, state); deduped || err != nil {
 		q.mu.Unlock()
-		return Job{}, fmt.Errorf("serve: %w (%d waiting)", errdefs.ErrQueueFull, q.cfg.MaxQueued)
+		return j, deduped, err
+	}
+	q.admitting[digest]++ // pins the blob against a concurrent reject-cleanup
+	q.mu.Unlock()
+
+	// The blob lands outside the lock — it can be tens of megabytes.
+	blob := filepath.Join(q.dir, "blobs", digest)
+	var wrote bool
+	var werr error
+	if _, err := os.Stat(blob); err != nil {
+		werr = atomicWrite(blob, data)
+		wrote = werr == nil
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.admitting[digest]--
+	if q.admitting[digest] == 0 {
+		delete(q.admitting, digest)
+	}
+	if werr != nil {
+		return Job{}, false, werr
+	}
+	// Re-check: a close, a racing duplicate, or a fill may have landed
+	// while the blob was writing.
+	if j, deduped, err := q.gateLocked(digest, state); deduped || err != nil {
+		if err != nil {
+			q.dropBlobLocked(digest, wrote)
+		}
+		return j, deduped, err
 	}
 	seq := q.seq
 	q.seq++
@@ -261,10 +337,17 @@ func (q *Queue) admit(digest string, data []byte, tenant string, priority int, s
 	if state == StateDone {
 		j.CacheHit = true
 		j.FinishedAt = j.SubmittedAt
+		// Result before journal — the same order Complete uses — so no
+		// crash window can produce a done job with no report.
+		if err := atomicWrite(q.resultPath(j.ID), result); err != nil {
+			q.dropBlobLocked(digest, wrote)
+			return Job{}, false, err
+		}
 	}
 	if err := q.persist(j); err != nil {
-		q.mu.Unlock()
-		return Job{}, err
+		os.Remove(q.resultPath(j.ID))
+		q.dropBlobLocked(digest, wrote)
+		return Job{}, false, err
 	}
 	q.jobs[j.ID] = j
 	q.byDig[digest] = j.ID
@@ -273,9 +356,24 @@ func (q *Queue) admit(digest string, data []byte, tenant string, priority int, s
 		heap.Push(&q.ready, j)
 		q.cond.Signal()
 	}
+	if state.Terminal() {
+		q.pruneLocked()
+	}
 	out := *j
-	q.mu.Unlock()
-	return out, nil
+	return out, false, nil
+}
+
+// dropBlobLocked removes a blob this admission wrote, unless another
+// in-flight admission or a recorded job still references it. Caller
+// holds mu.
+func (q *Queue) dropBlobLocked(digest string, wrote bool) {
+	if !wrote || q.admitting[digest] > 0 {
+		return
+	}
+	if _, ok := q.jobs[q.byDig[digest]]; ok {
+		return
+	}
+	os.Remove(filepath.Join(q.dir, "blobs", digest))
 }
 
 // Dequeue blocks until a job is eligible, claims it (queued → running,
@@ -345,6 +443,7 @@ func (q *Queue) Complete(id string, result []byte) error {
 	j.FinishedAt = time.Now().UTC()
 	q.running--
 	err := q.persist(j)
+	q.pruneLocked()
 	out := *j
 	q.mu.Unlock()
 	q.notify(out)
@@ -382,6 +481,7 @@ func (q *Queue) Fail(id string, cause error) (retrying bool, err error) {
 	j.State = StateFailed
 	j.FinishedAt = time.Now().UTC()
 	err = q.persist(j)
+	q.pruneLocked()
 	out := *j
 	q.mu.Unlock()
 	q.notify(out)
@@ -504,6 +604,59 @@ func (q *Queue) Result(id string) ([]byte, error) {
 
 func (q *Queue) resultPath(id string) string {
 	return filepath.Join(q.dir, "results", id+".json")
+}
+
+// pruneLocked enforces the terminal-retention cap: while more than
+// MaxTerminal terminal jobs are retained, the oldest-finished one is
+// dropped — journal entry, result file, in-memory record, and, once no
+// remaining job shares its digest, the image blob — so a long-running
+// service does not grow memory and disk without bound. Caller holds mu.
+func (q *Queue) pruneLocked() {
+	if q.cfg.MaxTerminal < 0 {
+		return
+	}
+	terminal := 0
+	for _, j := range q.jobs {
+		if j.State.Terminal() {
+			terminal++
+		}
+	}
+	for terminal > q.cfg.MaxTerminal {
+		var oldest *Job
+		for _, j := range q.jobs {
+			if !j.State.Terminal() {
+				continue
+			}
+			if oldest == nil || j.FinishedAt.Before(oldest.FinishedAt) ||
+				(j.FinishedAt.Equal(oldest.FinishedAt) && j.Seq < oldest.Seq) {
+				oldest = j
+			}
+		}
+		delete(q.jobs, oldest.ID)
+		if q.byDig[oldest.Digest] == oldest.ID {
+			delete(q.byDig, oldest.Digest)
+		}
+		os.Remove(filepath.Join(q.dir, "jobs", oldest.ID+".json"))
+		os.Remove(q.resultPath(oldest.ID))
+		if !q.blobReferencedLocked(oldest.Digest) {
+			os.Remove(filepath.Join(q.dir, "blobs", oldest.Digest))
+		}
+		terminal--
+	}
+}
+
+// blobReferencedLocked reports whether any recorded job or in-flight
+// admission still needs the blob for a digest. Caller holds mu.
+func (q *Queue) blobReferencedLocked(digest string) bool {
+	if q.admitting[digest] > 0 {
+		return true
+	}
+	for _, j := range q.jobs {
+		if j.Digest == digest {
+			return true
+		}
+	}
+	return false
 }
 
 // jobHeap orders queued jobs by priority (higher first), then admission

@@ -10,6 +10,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -29,9 +31,9 @@ func enqueueN(t *testing.T, q *Queue, priorities ...int) []string {
 	ids := make([]string, 0, len(priorities))
 	for i, p := range priorities {
 		data := []byte(fmt.Sprintf("image-%d", i))
-		j, err := q.Enqueue(digestOf(data), data, "t", p)
-		if err != nil {
-			t.Fatalf("enqueue %d: %v", i, err)
+		j, deduped, err := q.Enqueue(digestOf(data), data, "t", p)
+		if err != nil || deduped {
+			t.Fatalf("enqueue %d: deduped=%v err=%v", i, deduped, err)
 		}
 		ids = append(ids, j.ID)
 	}
@@ -169,18 +171,23 @@ func TestQueueDeterministicFailureIsTerminal(t *testing.T) {
 }
 
 func TestQueueFullRefusesBeforeJournaling(t *testing.T) {
-	q, err := OpenQueue(t.TempDir(), QueueConfig{MaxQueued: 2})
+	dir := t.TempDir()
+	q, err := OpenQueue(dir, QueueConfig{MaxQueued: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	enqueueN(t, q, 0, 0)
 	data := []byte("one-too-many")
-	_, err = q.Enqueue(digestOf(data), data, "t", 0)
+	_, _, err = q.Enqueue(digestOf(data), data, "t", 0)
 	if !errors.Is(err, errdefs.ErrQueueFull) {
 		t.Fatalf("third enqueue err = %v, want ErrQueueFull", err)
 	}
 	if _, ok := q.ByDigest(digestOf(data)); ok {
 		t.Error("refused job was journaled")
+	}
+	// A refused submission must leave no disk residue either.
+	if _, err := os.Stat(filepath.Join(dir, "blobs", digestOf(data))); !os.IsNotExist(err) {
+		t.Errorf("refused submission persisted its blob (stat err = %v)", err)
 	}
 }
 
@@ -221,7 +228,7 @@ func TestQueueCloseKeepsQueuedJournaled(t *testing.T) {
 	if _, ok := q.Dequeue(context.Background()); ok {
 		t.Error("dequeue after close handed out work")
 	}
-	if _, err := q.Enqueue("d", []byte("x"), "t", 0); !errors.Is(err, errdefs.ErrDraining) {
+	if _, _, err := q.Enqueue("d", []byte("x"), "t", 0); !errors.Is(err, errdefs.ErrDraining) {
 		t.Errorf("enqueue after close err = %v, want ErrDraining", err)
 	}
 	q2, err := OpenQueue(dir, QueueConfig{})
@@ -275,12 +282,12 @@ func TestQueueConcurrentSubmitDrain(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < jobsEach; i++ {
 				data := []byte(fmt.Sprintf("s%d-i%d", s, i))
-				j, err := q.Enqueue(digestOf(data), data, "t", i%3)
+				j, deduped, err := q.Enqueue(digestOf(data), data, "t", i%3)
 				if errors.Is(err, errdefs.ErrDraining) {
 					return // close raced the submit: acceptable refusal
 				}
-				if err != nil {
-					t.Errorf("enqueue: %v", err)
+				if err != nil || deduped {
+					t.Errorf("enqueue: deduped=%v err=%v", deduped, err)
 					return
 				}
 				mu.Lock()
@@ -309,5 +316,192 @@ func TestQueueConcurrentSubmitDrain(t *testing.T) {
 	if got := c.Queued + c.Done; got != len(submitted) {
 		t.Errorf("accounted %d jobs (queued %d + done %d), submitted %d — jobs lost",
 			got, c.Queued, c.Done, len(submitted))
+	}
+}
+
+func TestQueueDedupIsAtomicUnderConcurrentSubmit(t *testing.T) {
+	q, err := OpenQueue(t.TempDir(), QueueConfig{MaxQueued: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("identical-bytes")
+	dig := digestOf(data)
+	const n = 16
+	var (
+		wg      sync.WaitGroup
+		ids     [n]string
+		deduped [n]bool
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, dup, err := q.Enqueue(dig, data, "t", 0)
+			if err != nil {
+				t.Errorf("enqueue %d: %v", i, err)
+				return
+			}
+			ids[i], deduped[i] = j.ID, dup
+		}(i)
+	}
+	wg.Wait()
+	admitted := 0
+	for i := 0; i < n; i++ {
+		if !deduped[i] {
+			admitted++
+		}
+		if ids[i] != ids[0] {
+			t.Errorf("submission %d got job %s, submission 0 got %s — duplicate jobs for one digest", i, ids[i], ids[0])
+		}
+	}
+	if admitted != 1 {
+		t.Errorf("%d submissions admitted a job, want exactly 1", admitted)
+	}
+	if c := q.Counts(); c.Queued != 1 {
+		t.Errorf("queued = %d, want 1", c.Queued)
+	}
+}
+
+func TestQueueDedupAnswersExistingJobAcrossStates(t *testing.T) {
+	q, err := OpenQueue(t.TempDir(), QueueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("dedup-me")
+	dig := digestOf(data)
+	first, dup, err := q.Enqueue(dig, data, "t", 0)
+	if err != nil || dup {
+		t.Fatalf("first enqueue: deduped=%v err=%v", dup, err)
+	}
+	again, dup, err := q.Enqueue(dig, data, "other-tenant", 5)
+	if err != nil || !dup || again.ID != first.ID {
+		t.Fatalf("resubmit = %s deduped=%v err=%v, want dedup to %s", again.ID, dup, err, first.ID)
+	}
+	// A terminally failed job stops answering: the resubmit is a retry.
+	if _, ok := q.Dequeue(context.Background()); !ok {
+		t.Fatal("dequeue: closed")
+	}
+	if retrying, err := q.Fail(first.ID, fmt.Errorf("bad: %w", errdefs.ErrCorruptImage)); retrying || err != nil {
+		t.Fatalf("fail: retrying=%v err=%v", retrying, err)
+	}
+	fresh, dup, err := q.Enqueue(dig, data, "t", 0)
+	if err != nil || dup || fresh.ID == first.ID {
+		t.Fatalf("post-failure resubmit = %s deduped=%v err=%v, want a new job", fresh.ID, dup, err)
+	}
+}
+
+func TestQueueResumeDemotesDoneJobMissingResult(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenQueue(dir, QueueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := enqueueN(t, q, 0)[0]
+	if _, ok := q.Dequeue(context.Background()); !ok {
+		t.Fatal("dequeue: closed")
+	}
+	if err := q.Complete(id, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+
+	// Simulate the result file vanishing (disk rot, or a journal written
+	// before the result-first ordering): done must not survive resume.
+	if err := os.Remove(filepath.Join(dir, "results", id+".json")); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := OpenQueue(dir, QueueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := q2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateQueued || j.CacheHit {
+		t.Fatalf("resumed job = %s cache_hit=%v, want queued and re-runnable", j.State, j.CacheHit)
+	}
+	got, ok := q2.Dequeue(context.Background())
+	if !ok || got.ID != id {
+		t.Fatalf("demoted job did not dequeue: ok=%v id=%s", ok, got.ID)
+	}
+}
+
+func TestQueueEnqueueDoneWritesResultBeforeJournal(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenQueue(dir, QueueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("prehit-bytes")
+	j, dup, err := q.EnqueueDone(digestOf(data), data, "t", 0, []byte(`{"warm":true}`))
+	if err != nil || dup {
+		t.Fatalf("enqueue done: deduped=%v err=%v", dup, err)
+	}
+	if j.State != StateDone || !j.CacheHit {
+		t.Fatalf("job = %s cache_hit=%v, want done/true", j.State, j.CacheHit)
+	}
+	res, err := q.Result(j.ID)
+	if err != nil || string(res) != `{"warm":true}` {
+		t.Fatalf("result = %q, %v", res, err)
+	}
+	// The durability pair must hold on disk together: a journal entry in
+	// state done implies a readable result file.
+	if _, err := os.Stat(filepath.Join(dir, "results", j.ID+".json")); err != nil {
+		t.Errorf("done job missing its result file: %v", err)
+	}
+}
+
+func TestQueueTerminalRetentionPrunes(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenQueue(dir, QueueConfig{MaxTerminal: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := enqueueN(t, q, 0, 0, 0, 0)
+	for range ids {
+		j, ok := q.Dequeue(context.Background())
+		if !ok {
+			t.Fatal("dequeue: closed")
+		}
+		if err := q.Complete(j.ID, []byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if jobs := q.Jobs(); len(jobs) != 2 {
+		t.Fatalf("retained %d jobs, want 2", len(jobs))
+	}
+	for i, id := range ids[:2] {
+		if _, err := q.Get(id); !errors.Is(err, errdefs.ErrJobNotFound) {
+			t.Errorf("pruned job %s still readable (err = %v)", id, err)
+		}
+		data := []byte(fmt.Sprintf("image-%d", i))
+		for _, path := range []string{
+			filepath.Join(dir, "jobs", id+".json"),
+			filepath.Join(dir, "results", id+".json"),
+			filepath.Join(dir, "blobs", digestOf(data)),
+		} {
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("pruned job %s left %s behind (stat err = %v)", id, path, err)
+			}
+		}
+	}
+	for _, id := range ids[2:] {
+		j, err := q.Get(id)
+		if err != nil || j.State != StateDone {
+			t.Errorf("retained job %s: state=%s err=%v", id, j.State, err)
+		}
+		if res, err := q.Result(id); err != nil || len(res) == 0 {
+			t.Errorf("retained job %s has no result: %v", id, err)
+		}
+	}
+	// The cap survives a restart: the reopened queue holds the same two.
+	q.Close()
+	q2, err := OpenQueue(dir, QueueConfig{MaxTerminal: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := q2.Counts(); c.Done != 2 {
+		t.Errorf("reopened queue retains %d done jobs, want 2", c.Done)
 	}
 }

@@ -42,6 +42,12 @@ import (
 // tens of kilobytes, real-world firmware tens of megabytes.
 const DefaultMaxImageBytes = 64 << 20
 
+// ssePollInterval bounds how long an SSE stream can outlive its job: the
+// hub is lossy for slow consumers, so the events handler re-reads the
+// authoritative job state this often and ends the stream on a terminal
+// state even when the terminal event was dropped.
+const ssePollInterval = time.Second
+
 // Config assembles one Server.
 type Config struct {
 	// DataDir roots the job journal, blob store, and result store.
@@ -328,18 +334,24 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, apiError{Error: err.Error(), Kind: errdefs.Kind(err)})
 }
 
-// tenantOf extracts the API token: "Authorization: Bearer T" or
-// "X-API-Token: T", else the anonymous tenant.
+// tenantOf derives the tenant key from the API token ("Authorization:
+// Bearer T" or "X-API-Token: T"), else the anonymous tenant. The raw
+// token is a credential: only its sha256 digest is used, so the key can
+// be journaled, listed, and echoed in responses without ever exposing
+// another tenant's secret.
 func tenantOf(r *http.Request) string {
+	var tok string
 	if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
-		if t := strings.TrimSpace(auth[len("Bearer "):]); t != "" {
-			return t
-		}
+		tok = strings.TrimSpace(auth[len("Bearer "):])
 	}
-	if t := r.Header.Get("X-API-Token"); t != "" {
-		return t
+	if tok == "" {
+		tok = r.Header.Get("X-API-Token")
 	}
-	return "anonymous"
+	if tok == "" {
+		return "anonymous"
+	}
+	sum := sha256.Sum256([]byte(tok))
+	return "t-" + hex.EncodeToString(sum[:8])
 }
 
 // submitResponse is a job plus submission-path annotations.
@@ -397,8 +409,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	sum := sha256.Sum256(data)
 	digest := hex.EncodeToString(sum[:])
 
-	// Dedup: an existing job for these bytes answers the submission,
-	// unless it failed terminally — a failed job may retry via resubmit.
+	// Dedup fast path: an existing job for these bytes answers the
+	// submission without the cache probe. This check is advisory — the
+	// authoritative one runs again inside the queue's admission lock, so
+	// two concurrent submissions of the same bytes admit exactly one job.
 	if prev, ok := s.q.ByDigest(digest); ok && prev.State != StateFailed {
 		s.countSubmission("deduped")
 		writeJSON(w, http.StatusOK, submitResponse{Job: prev, Deduped: true})
@@ -411,8 +425,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if rep, hit, _ := firmres.CachedReport(data, s.analysisOptions(nil)...); hit {
 			buf, err := json.Marshal(rep)
 			if err == nil {
-				job, err := s.q.EnqueueDone(digest, data, tenant, priority, buf)
+				job, deduped, err := s.q.EnqueueDone(digest, data, tenant, priority, buf)
 				if err == nil {
+					if deduped {
+						s.countSubmission("deduped")
+						writeJSON(w, http.StatusOK, submitResponse{Job: job, Deduped: true})
+						return
+					}
 					s.countSubmission("cache_hit")
 					s.aggMu.Lock()
 					s.cacheStats.Hits++
@@ -425,7 +444,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	job, err := s.q.Enqueue(digest, data, tenant, priority)
+	job, deduped, err := s.q.Enqueue(digest, data, tenant, priority)
 	switch {
 	case errors.Is(err, errdefs.ErrQueueFull):
 		s.countSubmission("queue_full")
@@ -439,6 +458,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		s.countSubmission("error")
 		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if deduped {
+		s.countSubmission("deduped")
+		writeJSON(w, http.StatusOK, submitResponse{Job: job, Deduped: true})
 		return
 	}
 	s.countSubmission("accepted")
@@ -498,10 +522,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if job.State.Terminal() {
 		return
 	}
+	// The hub drops events for subscribers that cannot keep up, so a
+	// missed terminal transition must not hang the stream: poll the
+	// authoritative job state as a fallback exit condition.
+	poll := time.NewTicker(ssePollInterval)
+	defer poll.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-poll.C:
+			cur, err := s.q.Get(id)
+			if err != nil {
+				return // pruned by retention while streaming
+			}
+			if cur.State.Terminal() {
+				_, _ = w.Write(sseFrame(Event{Type: "state", Job: &cur}))
+				flusher.Flush()
+				return
+			}
 		case ev := <-ch:
 			_, _ = w.Write(sseFrame(ev))
 			flusher.Flush()

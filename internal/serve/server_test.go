@@ -11,8 +11,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"io/fs"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -275,5 +279,97 @@ func TestServerSSETerminalSnapshot(t *testing.T) {
 	}
 	if ev.Job == nil || !ev.Job.State.Terminal() {
 		t.Errorf("terminal job's snapshot frame = %+v, want terminal state", ev)
+	}
+}
+
+// TestServerTenantTokenNeverStoredOrEchoed: API tokens are credentials —
+// the journal, the job listing, and every response must carry only the
+// hashed tenant key, never the raw token.
+func TestServerTenantTokenNeverStoredOrEchoed(t *testing.T) {
+	dataDir := t.TempDir()
+	s := newTestServer(t, Config{DataDir: dataDir})
+	const secret = "firmserve-super-secret-credential"
+
+	rec, resp := submit(t, s, deviceImage(t, 1), map[string]string{"Authorization": "Bearer " + secret})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", rec.Code, rec.Body.String())
+	}
+	if resp.Tenant == "" || resp.Tenant == "anonymous" {
+		t.Fatalf("tokened submission has tenant %q, want a per-token key", resp.Tenant)
+	}
+	if strings.Contains(resp.Tenant, secret) || strings.Contains(rec.Body.String(), secret) {
+		t.Errorf("submit response leaks the raw token: %s", rec.Body.String())
+	}
+
+	// The same token through either header is the same tenant; a different
+	// token is a different one (the rate-limit key still discriminates).
+	_, viaHeader := submit(t, s, deviceImage(t, 2), map[string]string{"X-API-Token": secret})
+	if viaHeader.Tenant != resp.Tenant {
+		t.Errorf("X-API-Token key %q != Bearer key %q for the same token", viaHeader.Tenant, resp.Tenant)
+	}
+	_, other := submit(t, s, deviceImage(t, 3), map[string]string{"X-API-Token": "another-token"})
+	if other.Tenant == resp.Tenant {
+		t.Error("different tokens mapped to the same tenant key")
+	}
+
+	// The unauthenticated listing exposes tenants by design — they must be
+	// hashes, not harvestable credentials.
+	lrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(lrec, httptest.NewRequest("GET", "/v1/jobs", nil))
+	if strings.Contains(lrec.Body.String(), secret) {
+		t.Error("GET /v1/jobs leaks a raw API token")
+	}
+
+	// Nothing on disk — journal, blobs, results — may hold the raw token.
+	err := filepath.WalkDir(dataDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if bytes.Contains(data, []byte(secret)) {
+			t.Errorf("%s persists the raw API token", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerSSEFallsBackToPollingOnMissedTerminalEvent: the hub drops
+// events for slow consumers, so the stream must also end via the polled
+// authoritative state — here simulated by flipping the job terminal
+// behind the hub's back.
+func TestServerSSEFallsBackToPollingOnMissedTerminalEvent(t *testing.T) {
+	s := newTestServer(t, Config{}) // workers never started: the job stays queued
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	_, resp := submit(t, s, deviceImage(t, 4), nil)
+
+	res, err := http.Get(ts.URL + "/v1/jobs/" + resp.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+
+	s.q.mu.Lock()
+	s.q.jobs[resp.ID].State = StateDone
+	s.q.mu.Unlock()
+
+	done := make(chan string, 1)
+	go func() {
+		body, _ := io.ReadAll(res.Body)
+		done <- string(body)
+	}()
+	select {
+	case body := <-done:
+		if !strings.Contains(body, `"done"`) {
+			t.Errorf("stream ended without a terminal state frame:\n%s", body)
+		}
+	case <-time.After(10 * ssePollInterval):
+		t.Fatal("SSE stream hung after the terminal transition was never evented")
 	}
 }
